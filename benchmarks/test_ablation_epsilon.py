@@ -1,0 +1,60 @@
+"""ABL-EPS — sensitivity to ε, the Eq. (3) slack.
+
+ε is "the deviation from the average load that the cloud operator is
+willing to allow". Small ε chases perfect balance (more migrations, more
+churn); large ε tolerates imbalance (cheaper, but converges to doing
+nothing). The sweep quantifies the trade-off the paper leaves to the
+operator.
+"""
+
+import pytest
+
+from benchmarks.ablation_common import interference_run
+from benchmarks.conftest import write_artifact
+from repro.core import RefineVMInterferenceLB
+from repro.experiments import format_table
+
+EPSILONS = (0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    results = {}
+    for eps in EPSILONS:
+        res = interference_run(RefineVMInterferenceLB(eps))
+        results[eps] = (res.app_time, res.app.total_migrations)
+    return results
+
+
+def test_epsilon_sweep(sweep, benchmark):
+    benchmark.pedantic(
+        interference_run,
+        args=(RefineVMInterferenceLB(0.05),),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        (f"{eps:.2f}", t, m) for eps, (t, m) in sorted(sweep.items())
+    ]
+    write_artifact(
+        "ablation_epsilon",
+        format_table(
+            ["epsilon (frac of T_avg)", "app time (s)", "migrations"],
+            rows,
+            title="ABL-EPS — epsilon vs. run time and migration count",
+            float_fmt="{:.3f}",
+        ),
+    )
+
+
+def test_tight_epsilon_migrates_more(sweep):
+    assert sweep[0.01][1] >= sweep[0.5][1]
+
+
+def test_very_loose_epsilon_stops_balancing(sweep):
+    # with |load - T_avg| allowed to reach T_avg itself, nothing is heavy
+    assert sweep[1.0][1] == 0
+
+
+def test_moderate_epsilon_beats_loose(sweep):
+    assert sweep[0.05][0] < sweep[1.0][0]

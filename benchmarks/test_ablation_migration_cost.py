@@ -1,0 +1,96 @@
+"""ABL-MIGCOST — the paper's §VI future work, evaluated.
+
+"Due to the inferior performance of network, we also plan to explore a
+strategy where load balancing decisions are performed every time a load
+balancer is invoked, however, data migration is performed only if we
+expect gains that can offset the cost of migration."
+
+We sweep the chares' serialised state size on the degraded *virtualised*
+network. Small objects: the gate lets everything through and matches the
+raw balancer. Huge objects: migrating costs more than the remaining run
+can repay, the gate suppresses migrations, and the gated balancer beats
+the raw one.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_artifact
+from benchmarks.ablation_common import interference_run
+from repro.apps import SyntheticApp
+from repro.cluster import NetworkModel
+from repro.core import MigrationCostAwareLB, RefineVMInterferenceLB
+from repro.experiments import format_table
+
+STATE_SIZES = (4e3, 4e5, 4e7, 4e8)
+
+
+def make_app(state_bytes):
+    # 128 uniform chares (8 per core at 16 cores), scripted cost
+    return SyntheticApp([0.004] * 128, state_bytes=state_bytes)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    net = NetworkModel.virtualized()
+    results = {}
+    for size in STATE_SIZES:
+        raw = interference_run(
+            RefineVMInterferenceLB(0.05), app=make_app(size), net=net
+        )
+        gated_lb = MigrationCostAwareLB(
+            RefineVMInterferenceLB(0.05), net, safety_factor=1.0
+        )
+        gated = interference_run(gated_lb, app=make_app(size), net=net)
+        results[size] = (
+            raw.app_time,
+            gated.app_time,
+            gated_lb.suppressed_steps,
+            raw.app.total_migrations,
+            gated.app.total_migrations,
+        )
+    return results
+
+
+def test_migration_cost_sweep(sweep, benchmark):
+    benchmark.pedantic(
+        interference_run,
+        args=(RefineVMInterferenceLB(0.05),),
+        kwargs=dict(app=make_app(4e5), net=NetworkModel.virtualized()),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        (f"{int(size):.1e}", raw, gated, sup, m_raw, m_gated)
+        for size, (raw, gated, sup, m_raw, m_gated) in sorted(sweep.items())
+    ]
+    write_artifact(
+        "ablation_migration_cost",
+        format_table(
+            [
+                "state bytes",
+                "raw time (s)",
+                "gated time (s)",
+                "suppressed steps",
+                "raw migrations",
+                "gated migrations",
+            ],
+            rows,
+            title="ABL-MIGCOST — gating migrations on predicted net gain "
+            "(virtualised network)",
+            float_fmt="{:.3f}",
+        ),
+    )
+
+
+def test_small_objects_gate_is_transparent(sweep):
+    raw, gated, suppressed, m_raw, m_gated = sweep[STATE_SIZES[0]]
+    assert suppressed == 0
+    assert gated == pytest.approx(raw, rel=0.05)
+    assert m_gated == m_raw
+
+
+def test_huge_objects_gate_suppresses_and_wins(sweep):
+    raw, gated, suppressed, m_raw, m_gated = sweep[STATE_SIZES[-1]]
+    assert suppressed > 0
+    assert m_gated < m_raw
+    assert gated < raw  # migrating 400MB objects over a cloud NIC loses

@@ -1,0 +1,59 @@
+"""ABL-ODF — overdecomposition factor vs. achievable balance.
+
+Charm++'s premise: "the number of objects needs to be more than the
+number of available processors". With one object per core (ODF 1) the
+balancer has nothing it can move without simply swapping overload
+around; finer grains let refinement approximate the continuous optimum.
+"""
+
+import pytest
+
+from benchmarks.ablation_common import interference_run
+from benchmarks.conftest import write_artifact
+from repro.apps import Jacobi2D
+from repro.core import RefineVMInterferenceLB
+from repro.experiments import format_table
+
+ODFS = (1, 2, 4, 8, 16)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    results = {}
+    for odf in ODFS:
+        app = Jacobi2D(grid_size=2048, odf=odf, jitter_amp=0.0)
+        res = interference_run(RefineVMInterferenceLB(0.05), app=app)
+        results[odf] = (res.app_time, res.app.total_migrations)
+    return results
+
+
+def test_overdecomposition_sweep(sweep, benchmark):
+    app = Jacobi2D(grid_size=2048, odf=8, jitter_amp=0.0)
+    benchmark.pedantic(
+        interference_run,
+        args=(RefineVMInterferenceLB(0.05),),
+        kwargs=dict(app=app),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [(odf, t, m) for odf, (t, m) in sorted(sweep.items())]
+    write_artifact(
+        "ablation_overdecomp",
+        format_table(
+            ["chares per core", "app time (s)", "migrations"],
+            rows,
+            title="ABL-ODF — overdecomposition enables balance",
+            float_fmt="{:.3f}",
+        ),
+    )
+
+
+def test_finer_decomposition_balances_better(sweep):
+    assert sweep[8][0] < sweep[1][0]
+
+
+def test_diminishing_returns_by_odf8(sweep):
+    # going 8 -> 16 buys little compared to 1 -> 8
+    gain_1_to_8 = sweep[1][0] - sweep[8][0]
+    gain_8_to_16 = sweep[8][0] - sweep[16][0]
+    assert gain_8_to_16 < 0.5 * gain_1_to_8

@@ -1,0 +1,57 @@
+"""ABL-PERIOD — load-balancing period vs. reaction time and overhead.
+
+The paper balances periodically; the period trades instrumentation
+window quality and LB overhead against reaction latency. A long period
+leaves the application unbalanced for longer after interference arrives.
+"""
+
+import pytest
+
+from benchmarks.ablation_common import interference_run
+from benchmarks.conftest import write_artifact
+from repro.core import RefineVMInterferenceLB
+from repro.experiments import format_table
+
+PERIODS = (2, 5, 10, 25, 50)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    results = {}
+    for period in PERIODS:
+        res = interference_run(
+            RefineVMInterferenceLB(0.05), lb_period=period, iterations=100
+        )
+        results[period] = (res.app_time, res.app.lb_steps, res.app.total_migrations)
+    return results
+
+
+def test_period_sweep(sweep, benchmark):
+    benchmark.pedantic(
+        interference_run,
+        args=(RefineVMInterferenceLB(0.05),),
+        kwargs=dict(lb_period=10, iterations=100),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [(p, t, s, m) for p, (t, s, m) in sorted(sweep.items())]
+    write_artifact(
+        "ablation_period",
+        format_table(
+            ["period (iters)", "app time (s)", "LB steps", "migrations"],
+            rows,
+            title="ABL-PERIOD — balancing cadence vs. run time",
+            float_fmt="{:.3f}",
+        ),
+    )
+
+
+def test_moderate_period_is_the_sweet_spot(sweep):
+    # too slow reacts late; too fast churns (decision overhead + repeated
+    # migrations on freshly-measured noise)
+    assert sweep[5][0] < sweep[50][0]
+    assert sweep[5][0] < sweep[2][0]
+
+
+def test_step_counts_follow_period(sweep):
+    assert sweep[2][1] > sweep[10][1] > sweep[50][1]

@@ -1,0 +1,100 @@
+"""ABL-PERSIST — how fast can loads change before measurement-based
+balancing breaks?
+
+The paper's scheme assumes the *principle of persistence*: loads in the
+next LB window resemble the measured window. The AMR2D application's
+moving refinement front dials that assumption continuously: at
+``front_speed`` strips/iteration, a front of width W strips decorrelates
+after ~W/speed iterations. With an LB period of 5:
+
+* speed 0 (static hotspot) — persistence is exact, balancing is free
+  money;
+* slow fronts — measurements stay valid within a window; the balancer
+  tracks the front and keeps winning;
+* fast fronts — by the time migrations land, the expensive strips are
+  elsewhere; gains shrink toward (and can cross) zero once migration
+  costs are counted.
+
+This is the honest boundary of the paper's approach, quantified.
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_SCALE, write_artifact
+from repro.apps import AMR2D
+from repro.core import LBPolicy, RefineVMInterferenceLB
+from repro.experiments import Scenario, format_table, run_scenario
+
+SPEEDS = (0.0, 0.05, 0.2, 0.8, 3.2)
+
+
+def amr_run(front_speed, balancer):
+    app = AMR2D(
+        grid_size=max(int(2048 * BENCH_SCALE), 256),
+        odf=8,
+        refinement=8.0,
+        front_width_frac=0.2,
+        front_speed=front_speed,
+    )
+    return run_scenario(
+        Scenario(
+            app=app,
+            num_cores=16,
+            iterations=100,
+            balancer=balancer,
+            policy=LBPolicy(period_iterations=5, decision_overhead_s=2e-4),
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    results = {}
+    for speed in SPEEDS:
+        nolb = amr_run(speed, None)
+        lb = amr_run(speed, RefineVMInterferenceLB(0.05))
+        gain = 100.0 * (1.0 - lb.app_time / nolb.app_time)
+        results[speed] = (nolb.app_time, lb.app_time, gain, lb.app.total_migrations)
+    return results
+
+
+def test_persistence_sweep(sweep, benchmark):
+    benchmark.pedantic(
+        amr_run, args=(0.05, RefineVMInterferenceLB(0.05)), rounds=1, iterations=1
+    )
+    rows = [
+        (f"{speed:.2f}", nolb, lb, gain, m)
+        for speed, (nolb, lb, gain, m) in sorted(sweep.items())
+    ]
+    write_artifact(
+        "ablation_persistence",
+        format_table(
+            [
+                "front speed (strips/iter)",
+                "noLB time (s)",
+                "LB time (s)",
+                "LB gain %",
+                "migrations",
+            ],
+            rows,
+            title="ABL-PERSIST — the principle of persistence, stress-tested "
+            "(AMR front, LB period 5)",
+            float_fmt="{:.3f}",
+        ),
+    )
+
+
+def test_static_hotspot_gains_most(sweep):
+    gains = {s: g for s, (_, _, g, _) in sweep.items()}
+    assert gains[0.0] > 25.0
+
+
+def test_gain_degrades_with_front_speed(sweep):
+    gains = {s: g for s, (_, _, g, _) in sweep.items()}
+    assert gains[0.0] > gains[3.2]
+    assert gains[0.05] > gains[0.8]
+
+
+def test_slow_front_remains_profitable(sweep):
+    gains = {s: g for s, (_, _, g, _) in sweep.items()}
+    assert gains[0.05] > 15.0

@@ -1,0 +1,41 @@
+"""FIG1 — reproduce Figure 1: a background task disturbs load balance.
+
+Wave2D on 4 cores of one node, no load balancing; a 1-core job of the
+same application appears on the last core after a few iterations. The
+paper's observation: the interfered iteration is much longer, the tasks
+on the interfered core stretch, and the other cores show idle time.
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_SCALE, write_artifact
+from repro.experiments import fig1
+
+
+@pytest.fixture(scope="module")
+def result():
+    return fig1(scale=BENCH_SCALE, iterations=12, start_after=4)
+
+
+def test_fig1_regenerate(benchmark):
+    res = benchmark.pedantic(
+        fig1,
+        kwargs=dict(scale=BENCH_SCALE, iterations=12, start_after=4),
+        rounds=1,
+        iterations=1,
+    )
+    write_artifact("fig1_timeline", res.text())
+    # fair 1:1 sharing on the interfered core: ~2x iteration stretch
+    assert res.stretch_factor == pytest.approx(2.0, rel=0.15)
+
+
+def test_fig1_interfered_iteration_about_twice_as_long(result):
+    # fair 1:1 CPU sharing on the interfered core
+    assert result.stretch_factor == pytest.approx(2.0, rel=0.15)
+
+
+def test_fig1_clean_cores_idle_while_interfered_core_never_is(result):
+    lines = result.rendering_interfered.splitlines()
+    for clean in lines[1:4]:
+        assert "." in clean
+    assert "." not in lines[4].split("|")[1]

@@ -1,0 +1,69 @@
+"""FIG2 — reproduce Figure 2: timing penalty with and without LB.
+
+For each application (Jacobi2D, Wave2D, Mol3D) and core count
+(8, 16, 24, 32): the application's timing penalty under a 2-core Wave2D
+background job, the same with the interference-aware balancer, and the
+background job's own penalties.
+
+Shape assertions (the paper's qualitative findings):
+
+* the balancer cuts the application penalty everywhere;
+* the LB penalty falls as cores grow ("more cores to which the work of
+  the overloaded core can be distributed");
+* Mol3D's no-LB penalty is far larger (the OS favours the BG job there)
+  while its BG penalty is far smaller;
+* the balancer also relieves the background job for Jacobi2D/Wave2D.
+"""
+
+import pytest
+
+from benchmarks.conftest import (
+    BENCH_ITERATIONS,
+    BENCH_SCALE,
+    write_artifact,
+)
+from repro.experiments import fig2, run_case
+from repro.experiments.figures import PAPER_CORE_COUNTS
+
+
+def test_fig2_regenerate(fig24_matrix, benchmark):
+    res = benchmark.pedantic(
+        fig2, kwargs=dict(matrix=fig24_matrix), rounds=1, iterations=1
+    )
+    write_artifact("fig2_timing_penalty", res.text())
+    by_app = {}
+    for row in res.rows:
+        by_app.setdefault(row.app_name, []).append(row)
+    for app, rows in by_app.items():
+        rows.sort(key=lambda r: r.cores)
+        for r in rows:
+            assert r.lb < r.nolb, f"{app} P={r.cores}: LB did not help"
+        # LB penalty decreases with core count (allow small wiggle)
+        lbs = [r.lb for r in rows]
+        assert lbs[-1] < lbs[0], f"{app}: LB penalty did not fall with cores"
+
+
+def test_fig2_mol3d_shows_os_preference(fig24_matrix):
+    for cores in PAPER_CORE_COUNTS:
+        mol = fig24_matrix[("mol3d", cores)]
+        jac = fig24_matrix[("jacobi2d", cores)]
+        assert mol.penalty_nolb > 1.5 * jac.penalty_nolb
+        assert mol.bg_penalty_nolb < jac.bg_penalty_nolb
+
+
+def test_fig2_bg_job_relieved_by_lb(fig24_matrix):
+    for app in ("jacobi2d", "wave2d"):
+        for cores in PAPER_CORE_COUNTS:
+            case = fig24_matrix[(app, cores)]
+            assert case.bg_penalty_lb < case.bg_penalty_nolb
+
+
+def test_fig2_single_case_cost_jacobi32(benchmark):
+    """Wall-clock cost of one full Figure-2 cell (5 simulated runs)."""
+    benchmark.pedantic(
+        run_case,
+        args=("jacobi2d", 32),
+        kwargs=dict(scale=BENCH_SCALE, iterations=BENCH_ITERATIONS),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,48 @@
+"""FIG3 — reproduce Figure 3: the balancer tracks moving interference.
+
+Wave2D on 4 cores with the interference-aware balancer. Interference
+appears on core 1, is balanced away, disappears (objects migrate back),
+reappears on core 3, and is balanced away again — the paper's five
+timeline panels (a)–(e).
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_SCALE, write_artifact
+from repro.experiments import fig3
+
+
+@pytest.fixture(scope="module")
+def result():
+    return fig3(scale=BENCH_SCALE, lb_period=4)
+
+
+def test_fig3_regenerate(benchmark):
+    res = benchmark.pedantic(
+        fig3, kwargs=dict(scale=BENCH_SCALE, lb_period=4), rounds=1, iterations=1
+    )
+    write_artifact("fig3_dynamic_timeline", res.text())
+    a, b, c, d, e = res.phase_mean_iteration
+    assert b < 0.85 * a and e < 0.90 * d  # each rebalance helps
+    o1, o3 = res.phase_objects_core1, res.phase_objects_core3
+    assert o1[1] < o1[0] and o1[2] > o1[1] and o3[4] < o3[3]
+
+
+def test_fig3_each_rebalance_restores_iteration_time(result):
+    a, b, c, d, e = result.phase_mean_iteration
+    assert b < 0.85 * a  # panel (b): balanced around core 1
+    assert e < 0.90 * d  # panel (e): balanced around core 3
+    assert c <= min(b, e) * 1.05  # panel (c): no interference at all
+
+
+def test_fig3_objects_follow_the_interference(result):
+    o1, o3 = result.phase_objects_core1, result.phase_objects_core3
+    assert o1[1] < o1[0]  # drained off core 1
+    assert o1[2] > o1[1]  # migrated back once the job left
+    assert o3[4] < o3[3]  # drained off core 3
+
+
+def test_fig3_renders_five_panels(result):
+    text = result.text()
+    for panel in ("a:", "b:", "c:", "d:", "e:"):
+        assert panel in text

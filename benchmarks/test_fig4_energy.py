@@ -1,0 +1,54 @@
+"""FIG4 — reproduce Figure 4: power draw and normalised energy overhead.
+
+Same runs as Figure 2. The paper's findings:
+
+* load-balanced runs draw *more average power* (idle time removed, higher
+  CPU utilisation);
+* yet consume *less energy* — the 40 W per-node base power makes the
+  shorter runtime win;
+* the balancer therefore cuts the interference *energy overhead* as well
+  as the timing penalty.
+"""
+
+from benchmarks.conftest import write_artifact
+from repro.experiments import fig4
+from repro.experiments.figures import PAPER_CORE_COUNTS, paper_app_names
+
+
+def test_fig4_regenerate(fig24_matrix, benchmark):
+    res = benchmark.pedantic(
+        fig4, kwargs=dict(matrix=fig24_matrix), rounds=1, iterations=1
+    )
+    write_artifact("fig4_power_energy", res.text())
+    for row in res.rows:
+        assert row.power_lb_w > row.power_nolb_w, (
+            f"{row.app_name} P={row.cores}: balanced run should draw more power"
+        )
+        assert row.energy_overhead_lb < row.energy_overhead_nolb, (
+            f"{row.app_name} P={row.cores}: balanced run should waste less energy"
+        )
+
+
+def test_fig4_lb_draws_more_power(fig24_matrix):
+    for app in paper_app_names():
+        for cores in PAPER_CORE_COUNTS:
+            case = fig24_matrix[(app, cores)]
+            assert case.power_lb_w > case.power_nolb_w, (
+                f"{app} P={cores}: balanced run should draw more power"
+            )
+
+
+def test_fig4_lb_reduces_energy_overhead(fig24_matrix):
+    for app in paper_app_names():
+        for cores in PAPER_CORE_COUNTS:
+            case = fig24_matrix[(app, cores)]
+            assert case.energy_overhead_lb < case.energy_overhead_nolb, (
+                f"{app} P={cores}: balanced run should waste less energy"
+            )
+
+
+def test_fig4_power_stays_within_model_bounds(fig24_matrix):
+    for (app, cores), case in fig24_matrix.items():
+        nodes = (cores + 3) // 4
+        assert 40.0 * nodes <= case.power_nolb_w <= 170.0 * nodes
+        assert 40.0 * nodes <= case.power_lb_w <= 170.0 * nodes

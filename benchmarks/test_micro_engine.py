@@ -1,0 +1,70 @@
+"""MICRO — substrate performance: event engine and shared-core model.
+
+These set the simulator's capacity envelope (events/second), which is
+what bounds how large a cluster/app the harness can sweep.
+"""
+
+from repro.sim import SharedCore, SimProcess, SimulationEngine
+
+
+def test_engine_event_throughput(benchmark):
+    """Schedule-and-fire cost for 50k chained events."""
+
+    def run():
+        eng = SimulationEngine()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 50_000:
+                eng.schedule_after(0.001, tick)
+
+        eng.schedule_after(0.001, tick)
+        eng.run()
+        return count[0]
+
+    assert benchmark(run) == 50_000
+
+
+def test_processor_sharing_rescheduling(benchmark):
+    """Cost of 2k dispatches with interleaved completions on one core.
+
+    Arrivals at ~60% core utilisation so the runnable set stays small —
+    the regime the reproduction operates in (one app task + a couple of
+    interferers per core), where rescheduling is O(set size).
+    """
+
+    def run():
+        eng = SimulationEngine()
+        core = SharedCore(eng, 0)
+        done = [0]
+
+        def count(_p):
+            done[0] += 1
+
+        for i in range(2000):
+            proc = SimProcess(f"p{i}", 0.004 + (i % 7) * 0.0005, on_complete=count)
+            eng.schedule_at(i * 0.01, core.dispatch, proc)
+        eng.run()
+        return done[0]
+
+    assert benchmark(run) == 2000
+
+
+def test_full_stack_simulation_rate(benchmark):
+    """End-to-end: a 32-core, 256-chare app for 20 iterations."""
+    from repro.apps import Jacobi2D
+    from repro.cluster import Cluster, NetworkModel
+    from repro.sim import SimulationEngine
+
+    def run():
+        eng = SimulationEngine()
+        cl = Cluster(eng)
+        rt = Jacobi2D(grid_size=1024).instantiate(
+            eng, cl, list(range(32)), net=NetworkModel.native()
+        )
+        rt.start(iterations=20)
+        eng.run()
+        return rt.done
+
+    assert benchmark(run)

@@ -1,0 +1,81 @@
+"""MICRO — decision cost of the balancing strategies themselves.
+
+The paper runs Algorithm 1 centrally at every LB step; its cost must be
+negligible next to an iteration. These benches measure pure decision
+time on a paper-scale view (32 cores x 8 chares each) and a much larger
+one (512 cores), showing the strategy scales beyond the testbed.
+"""
+
+import pytest
+
+from repro.core import (
+    CoreLoad,
+    GreedyLB,
+    LBView,
+    RefineVMInterferenceLB,
+    TaskRecord,
+)
+
+
+def make_view(num_cores, chares_per_core, interfered=2):
+    cores = []
+    for cid in range(num_cores):
+        tasks = tuple(
+            TaskRecord(
+                chare=(f"a{cid}", i),
+                cpu_time=0.01 + 0.001 * ((cid * 7 + i) % 5),
+                state_bytes=1024.0,
+            )
+            for i in range(chares_per_core)
+        )
+        bg = 0.08 if cid < interfered else 0.0
+        cores.append(CoreLoad(core_id=cid, tasks=tasks, bg_load=bg))
+    return LBView(cores=tuple(cores), window=1.0)
+
+
+@pytest.fixture(scope="module")
+def paper_view():
+    return make_view(32, 8)
+
+
+@pytest.fixture(scope="module")
+def large_view():
+    return make_view(512, 8, interfered=32)
+
+
+def test_algorithm1_decision_paper_scale(benchmark, paper_view):
+    lb = RefineVMInterferenceLB(0.05)
+    migrations = benchmark(lb.decide, paper_view)
+    assert migrations  # the interfered cores shed work
+
+
+def test_algorithm1_decision_512_cores(benchmark, large_view):
+    lb = RefineVMInterferenceLB(0.05)
+    migrations = benchmark(lb.decide, large_view)
+    assert migrations
+
+
+def test_greedy_decision_paper_scale(benchmark, paper_view):
+    lb = GreedyLB(aware=True)
+    migrations = benchmark(lb.decide, paper_view)
+    assert migrations
+
+
+def test_database_view_construction(benchmark):
+    """Building the LBView from runtime counters (per LB step cost)."""
+    from repro.core import LBDatabase
+    from repro.sim import SharedCore, SimulationEngine
+    from repro.sim.procstat import ProcStat
+
+    eng = SimulationEngine()
+    cores = {i: SharedCore(eng, i) for i in range(32)}
+    stat = ProcStat(cores, owner="app")
+    db = LBDatabase(stat)
+    mapping = {}
+    for cid in range(32):
+        for i in range(8):
+            key = ("grid", cid * 8 + i)
+            mapping[key] = cid
+            db.record_task(key, 0.01)
+    view = benchmark(db.build_view, mapping)
+    assert view.num_cores == 32

@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Writing your own load balancing strategy.
+
+Charm++ lets programmers "add their own application or platform specific
+strategy to the load balancing framework"; so does this library. A
+strategy is a pure function from an :class:`LBView` (instrumented task
+times + Eq.-2 background loads) to a list of migrations.
+
+This example implements *ShedWorstLB* — a deliberately simple strategy
+that, at every step, moves one task from the most loaded core to the
+least loaded core — and races it against NoLB and the paper's
+Algorithm 1 under identical interference.
+
+Run:  python examples/custom_balancer.py
+"""
+
+from typing import List
+
+from repro.apps import Jacobi2D, Wave2D
+from repro.core import (
+    LBPolicy,
+    LBView,
+    LoadBalancer,
+    Migration,
+    NoLB,
+    RefineVMInterferenceLB,
+)
+from repro.experiments import BackgroundSpec, Scenario, format_table, run_scenario
+
+
+class ShedWorstLB(LoadBalancer):
+    """Move the biggest task off the most loaded core, once per step."""
+
+    name = "shed-worst"
+
+    def decide(self, view: LBView) -> List[Migration]:
+        if view.num_cores < 2:
+            return []
+        ranked = sorted(view.cores, key=lambda c: c.total_load)
+        coolest, hottest = ranked[0], ranked[-1]
+        if not hottest.tasks:
+            return []
+        biggest = max(hottest.tasks, key=lambda t: t.cpu_time)
+        if hottest.total_load - biggest.cpu_time < coolest.total_load:
+            return []  # the swap would just trade places
+        return [
+            Migration(
+                chare=biggest.chare, src=hottest.core_id, dst=coolest.core_id
+            )
+        ]
+
+
+def race(balancer, label):
+    res = run_scenario(
+        Scenario(
+            app=Jacobi2D(grid_size=2048),
+            num_cores=8,
+            iterations=100,
+            balancer=balancer,
+            policy=LBPolicy(period_iterations=5),
+            bg=BackgroundSpec(
+                model=Wave2D.background(grid_size=1024),
+                core_ids=(0, 1),
+                iterations=400,
+            ),
+        )
+    )
+    return (label, res.app_time, res.app.total_migrations)
+
+
+def main() -> None:
+    rows = [
+        race(None, "noLB"),
+        race(ShedWorstLB(), "shed-worst (custom)"),
+        race(RefineVMInterferenceLB(0.05), "Algorithm 1 (paper)"),
+    ]
+    print(
+        format_table(
+            ["strategy", "app time (s)", "migrations"],
+            rows,
+            title="Custom strategy vs. the paper's balancer (interfered run)",
+            float_fmt="{:.3f}",
+        )
+    )
+    print(
+        "\nShedWorst helps (one migration per step is better than none) "
+        "but converges far slower than Algorithm 1, which empties the "
+        "overloaded heap every step."
+    )
+
+
+if __name__ == "__main__":
+    main()

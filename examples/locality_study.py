@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""Locality extensions: where migrated objects land matters.
+
+The paper's §VI worries about exactly this scenario: "due to the
+inferior performance of network" in clouds, migrating objects is not
+free. This script runs the paper's interference setup on a *virtualised*
+network with a per-chare halo graph, so communication cost depends on
+object placement. The finding it demonstrates:
+
+* plain Algorithm 1 — locality-blind — sheds the right CPU load but
+  scatters halo-coupled strips across cores, and the extra wire traffic
+  plus migration cost can make it *slower than not balancing at all*;
+* the **communication-aware receiver** variant makes the identical
+  migration decisions but lands each strip next to its halo partner,
+  recovering the win;
+* the **node-local receiver** variant cuts migration cost (shared-memory
+  transfers) but not iteration communication — necessary, not
+  sufficient, on this workload.
+
+The script also exports a Chrome/Perfetto trace of the comm-aware run
+(open locality_trace.json at https://ui.perfetto.dev).
+
+Run:  python examples/locality_study.py
+"""
+
+from repro.apps import Jacobi2D, Wave2D
+from repro.cluster import NetworkModel
+from repro.core import (
+    CommAwareRefineLB,
+    HierarchicalLB,
+    LBPolicy,
+    RefineVMInterferenceLB,
+)
+from repro.experiments import BackgroundSpec, Scenario, format_table, run_scenario
+from repro.projections import write_chrome_trace
+
+
+def race(balancer, label, tracing=False):
+    res = run_scenario(
+        Scenario(
+            app=Jacobi2D(grid_size=4096, odf=8, jitter_amp=0.0),
+            num_cores=8,
+            iterations=100,
+            balancer=balancer,
+            policy=LBPolicy(period_iterations=5, decision_overhead_s=2e-4),
+            bg=BackgroundSpec(
+                model=Wave2D.background(grid_size=1448),
+                core_ids=(0, 1),
+                iterations=800,
+            ),
+            net=NetworkModel.virtualized(),
+            use_comm_graph=True,
+            tracing=tracing,
+        )
+    )
+    return label, res
+
+
+def main() -> None:
+    runs = [
+        race(None, "noLB"),
+        race(RefineVMInterferenceLB(0.05), "Algorithm 1 (paper)"),
+        race(CommAwareRefineLB(0.05), "comm-aware receivers", tracing=True),
+        race(
+            HierarchicalLB.by_node(4, inner=RefineVMInterferenceLB(0.05)),
+            "node-local receivers",
+        ),
+    ]
+    rows = [
+        (
+            label,
+            res.app_time,
+            res.app.total_migrations,
+            res.app.total_migration_cost_s * 1000,
+        )
+        for label, res in runs
+    ]
+    print(
+        format_table(
+            ["strategy", "app time (s)", "migrations", "migration cost (ms)"],
+            rows,
+            title=(
+                "Jacobi2D, 8 cores, virtualised network, per-chare halo "
+                "graph, BG job on cores 0-1"
+            ),
+            float_fmt="{:.3f}",
+        )
+    )
+    nolb = runs[0][1].app_time
+    plain = runs[1][1].app_time
+    aware = runs[2][1].app_time
+    print(
+        f"\nOn this cloud-like network, locality-blind balancing is "
+        f"{100 * (plain / nolb - 1):+.0f}% vs. noLB — the scattered halo "
+        f"edges and {runs[1][1].app.total_migration_cost_s * 1000:.0f} ms "
+        f"of migrations eat the CPU-balance gain. Communication-aware "
+        f"receivers turn that into {100 * (aware / nolb - 1):+.0f}% with "
+        f"the same migration decisions — the paper's §VI concern, solved "
+        f"by placement."
+    )
+    traced = next(res for label, res in runs if label == "comm-aware receivers")
+    n = write_chrome_trace(traced.trace, "locality_trace.json", job_name="jacobi2d")
+    print(
+        f"\nWrote {n} trace events to locality_trace.json — load it in "
+        "chrome://tracing or https://ui.perfetto.dev to inspect per-core "
+        "task execution, LB steps and migrations."
+    )
+
+
+if __name__ == "__main__":
+    main()

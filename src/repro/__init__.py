@@ -1,0 +1,75 @@
+"""repro — Cloud Friendly Load Balancing for HPC Applications.
+
+A full-stack reproduction of Sarood, Gupta & Kalé (ICPP workshops 2012):
+an interference-aware refinement load balancer for migratable-object
+runtimes, evaluated on a simulated multi-tenant cluster.
+
+The most common entry points are re-exported here::
+
+    from repro import Scenario, BackgroundSpec, run_scenario
+    from repro import RefineVMInterferenceLB, LBPolicy
+    from repro import Jacobi2D, Wave2D, Mol3D
+
+Subpackage map (see README.md for the architecture overview):
+
+==================  =====================================================
+``repro.sim``       discrete-event engine, proportional-share cores
+``repro.cluster``   nodes/VMs/interferers/network of the testbed
+``repro.runtime``   migratable-object (chare) runtime
+``repro.core``      load balancers and the LB database (the contribution)
+``repro.apps``      Jacobi2D / Wave2D / Mol3D / synthetic workloads
+``repro.ampi``      MPI-style programs over migratable ranks
+``repro.projections`` timelines and utilisation analysis
+``repro.power``     power model and energy metering
+``repro.experiments`` scenario runner and per-figure generators
+==================  =====================================================
+"""
+
+from repro.version import __version__
+from repro.apps import Jacobi2D, Mol3D, SyntheticApp, Wave2D
+from repro.core import (
+    GreedyLB,
+    LBPolicy,
+    LoadBalancer,
+    Migration,
+    MigrationCostAwareLB,
+    NoLB,
+    RefineLB,
+    RefineVMInterferenceLB,
+)
+from repro.cluster import Cluster, NetworkModel
+from repro.experiments import BackgroundSpec, Scenario, run_scenario
+from repro.power import PowerMeter, PowerModel
+from repro.runtime import Chare, ChareArray, Runtime
+from repro.sim import SimulationEngine
+
+__all__ = [
+    "__version__",
+    # apps
+    "Jacobi2D",
+    "Wave2D",
+    "Mol3D",
+    "SyntheticApp",
+    # balancers
+    "LoadBalancer",
+    "NoLB",
+    "RefineLB",
+    "GreedyLB",
+    "RefineVMInterferenceLB",
+    "MigrationCostAwareLB",
+    "Migration",
+    "LBPolicy",
+    # substrate
+    "SimulationEngine",
+    "Cluster",
+    "NetworkModel",
+    "Runtime",
+    "Chare",
+    "ChareArray",
+    "PowerModel",
+    "PowerMeter",
+    # experiments
+    "Scenario",
+    "BackgroundSpec",
+    "run_scenario",
+]

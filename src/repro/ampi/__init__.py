@@ -1,0 +1,29 @@
+"""AMPI — MPI programs as migratable objects.
+
+The paper notes that "existing MPI applications can leverage the benefits
+of our approach using Adaptive MPI (AMPI)": each MPI rank becomes a
+user-level thread inside a migratable object, so the same load balancers
+apply unchanged.
+
+This package reproduces that route in bulk-synchronous form (the natural
+fit for the iteration-driven runtime): an :class:`AmpiProgram` declares
+``num_ranks`` and a per-superstep ``compute`` function. Each rank is one
+:class:`~repro.ampi.rankthread.AmpiRankChare` — a migratable object the
+balancer can move exactly like any other chare. Within a superstep a rank
+may post point-to-point sends and contribute to collectives through its
+:class:`~repro.ampi.api.AmpiComm` handle; delivery happens at the
+superstep boundary (message *costs* are part of the runtime's
+communication delay, as for the native applications).
+
+Substitution note (documented in DESIGN.md): real AMPI virtualises
+unmodified MPI codes with user-level threads and pup routines; here the
+program expresses its per-superstep compute cost and communication
+explicitly. What is preserved — ranks as migratable, instrumented
+objects; collectives; rank-count independence from core count — is
+exactly what the paper's load balancing story needs.
+"""
+
+from repro.ampi.api import AmpiComm, AmpiProgram
+from repro.ampi.rankthread import AmpiRankChare
+
+__all__ = ["AmpiComm", "AmpiProgram", "AmpiRankChare"]

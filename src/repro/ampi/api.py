@@ -1,0 +1,177 @@
+"""AMPI programming interface.
+
+An :class:`AmpiProgram` is written against :class:`AmpiComm`, a
+deliberately mpi4py-flavoured handle (``rank``/``size``/``send``/``recv``/
+``allreduce``) with bulk-synchronous delivery:
+
+* ``send(dest, payload)`` enqueues a message; the receiver sees it via
+  ``recv(src)`` **in the next superstep** (like an ``isend`` completed at
+  the step boundary).
+* ``allreduce(value, op)`` contributes to a per-superstep reduction whose
+  result is available next superstep via ``reduced()``.
+
+Example — a ring exchange with a global residual::
+
+    def compute(comm: AmpiComm, it: int) -> float:
+        left = comm.recv((comm.rank - 1) % comm.size)
+        comm.send((comm.rank + 1) % comm.size, f"hello from {comm.rank}")
+        comm.allreduce(local_residual(comm.rank, it), op="max")
+        return 0.003          # CPU-seconds this superstep costs
+
+    program = AmpiProgram(num_ranks=64, compute=compute)
+    rt = program.instantiate(engine, cluster, core_ids,
+                             balancer=RefineVMInterferenceLB())
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.apps.base import AppModel
+from repro.runtime.chare import ChareArray
+from repro.runtime.reductions import REDUCERS
+from repro.util import check_non_negative, check_positive
+
+__all__ = ["AmpiComm", "AmpiProgram"]
+
+
+class AmpiComm:
+    """Per-rank communicator handle (BSP semantics).
+
+    Created by :class:`AmpiProgram`; one instance per rank, reused across
+    supersteps. User code must not construct these directly.
+    """
+
+    def __init__(self, rank: int, size: int, world: "_AmpiWorld") -> None:
+        self.rank = rank
+        self.size = size
+        self._world = world
+
+    # -- point to point -------------------------------------------------
+    def send(self, dest: int, payload: Any) -> None:
+        """Post a message to ``dest``; delivered next superstep."""
+        if not 0 <= dest < self.size:
+            raise ValueError(f"dest {dest} out of range [0, {self.size})")
+        self._world.outbox.setdefault((self.rank, dest), []).append(payload)
+
+    def recv(self, src: int) -> Optional[Any]:
+        """Pop the oldest message from ``src`` sent in the *previous*
+        superstep, or ``None`` if there is none."""
+        if not 0 <= src < self.size:
+            raise ValueError(f"src {src} out of range [0, {self.size})")
+        queue = self._world.inbox.get((src, self.rank))
+        return queue.pop(0) if queue else None
+
+    # -- collectives ----------------------------------------------------
+    def allreduce(self, value: float, op: str = "sum") -> None:
+        """Contribute to this superstep's global reduction."""
+        if op not in REDUCERS:
+            raise ValueError(f"unknown op {op!r}; known: {sorted(REDUCERS)}")
+        self._world.contribute(self.rank, float(value), op)
+
+    def reduced(self) -> Optional[float]:
+        """Result of the *previous* superstep's allreduce (None if absent)."""
+        return self._world.last_reduction
+
+
+class _AmpiWorld:
+    """Shared mailbox + reduction state for one program instance."""
+
+    def __init__(self, size: int) -> None:
+        self.size = size
+        self.inbox: Dict[Tuple[int, int], List[Any]] = {}
+        self.outbox: Dict[Tuple[int, int], List[Any]] = {}
+        self.last_reduction: Optional[float] = None
+        self._contribs: Dict[int, float] = {}
+        self._op: Optional[str] = None
+
+    def contribute(self, rank: int, value: float, op: str) -> None:
+        if self._op is None:
+            self._op = op
+        elif self._op != op:
+            raise ValueError(
+                f"mixed reduction ops in one superstep: {self._op!r} vs {op!r}"
+            )
+        if rank in self._contribs:
+            raise ValueError(f"rank {rank} contributed twice in one superstep")
+        self._contribs[rank] = value
+
+    def end_superstep(self) -> None:
+        """Barrier semantics: flip mailboxes, finalise the reduction."""
+        self.inbox = self.outbox
+        self.outbox = {}
+        if self._contribs:
+            if len(self._contribs) != self.size:
+                raise RuntimeError(
+                    f"allreduce saw {len(self._contribs)}/{self.size} "
+                    "contributions — every rank must contribute"
+                )
+            reducer = REDUCERS[self._op or "sum"]
+            acc: Optional[float] = None
+            for rank in sorted(self._contribs):
+                v = self._contribs[rank]
+                acc = v if acc is None else reducer(acc, v)
+            self.last_reduction = acc
+        self._contribs = {}
+        self._op = None
+
+
+class AmpiProgram(AppModel):
+    """A bulk-synchronous MPI-style program over migratable ranks.
+
+    Parameters
+    ----------
+    num_ranks:
+        Virtual MPI ranks. Independent of the core count — AMPI's
+        "specify a large number of MPI processes" overdecomposition.
+    compute:
+        ``(comm, iteration) -> cpu_seconds``: the rank's superstep. Runs
+        when the rank's entry method executes; the returned CPU cost is
+        what the runtime simulates (and the LB database measures).
+    state_bytes:
+        Serialised rank size (migration cost).
+    comm_bytes_per_core:
+        Per-superstep halo volume charged by the runtime.
+    """
+
+    name = "ampi"
+
+    def __init__(
+        self,
+        num_ranks: int,
+        compute: Callable[[AmpiComm, int], float],
+        *,
+        state_bytes: float = 65536.0,
+        comm_bytes_per_core: float = 0.0,
+    ) -> None:
+        check_positive("num_ranks", num_ranks)
+        check_non_negative("state_bytes", state_bytes)
+        check_non_negative("comm_bytes_per_core", comm_bytes_per_core)
+        self.num_ranks = int(num_ranks)
+        self.compute = compute
+        self.state_bytes = float(state_bytes)
+        self.comm_bytes_per_core = float(comm_bytes_per_core)
+        self._world = _AmpiWorld(self.num_ranks)
+        #: communicators, one per rank (also exposed for tests)
+        self.comms: List[AmpiComm] = [
+            AmpiComm(r, self.num_ranks, self._world) for r in range(self.num_ranks)
+        ]
+
+    # ------------------------------------------------------------------
+    def build_array(self, num_cores: int) -> ChareArray:
+        from repro.ampi.rankthread import AmpiRankChare
+
+        chares = [
+            AmpiRankChare(
+                r,
+                comm=self.comms[r],
+                compute=self.compute,
+                state_bytes=self.state_bytes,
+                world=self._world,
+            )
+            for r in range(self.num_ranks)
+        ]
+        return ChareArray(self.name, chares)
+
+    def comm_bytes(self, num_cores: int) -> float:
+        return self.comm_bytes_per_core

@@ -1,0 +1,73 @@
+"""AMPI ranks as migratable chares.
+
+One :class:`AmpiRankChare` per virtual MPI rank. Its ``work()`` *runs the
+user's superstep function* — so the compute cost may depend on received
+messages and reduction results — and the rank that finishes a superstep
+last triggers the world's barrier bookkeeping (mailbox flip, reduction
+finalisation), mirroring how AMPI's user-level threads block in
+``MPI_Barrier``/collectives until everyone arrives.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.ampi.api import AmpiComm, _AmpiWorld
+from repro.runtime.chare import Chare
+
+__all__ = ["AmpiRankChare"]
+
+
+class AmpiRankChare(Chare):
+    """One migratable MPI rank.
+
+    Parameters
+    ----------
+    index:
+        The MPI rank number.
+    comm:
+        The rank's communicator handle.
+    compute:
+        User superstep function ``(comm, iteration) -> cpu_seconds``.
+    state_bytes:
+        Serialised size of the rank (stack + heap in real AMPI).
+    world:
+        Shared mailbox/reduction state (superstep barrier bookkeeping).
+    """
+
+    def __init__(
+        self,
+        index: int,
+        *,
+        comm: AmpiComm,
+        compute: Callable[[AmpiComm, int], float],
+        state_bytes: float,
+        world: _AmpiWorld,
+    ) -> None:
+        super().__init__(index, state_bytes=state_bytes)
+        self.comm = comm
+        self._compute = compute
+        self._world = world
+        self._steps_done = 0
+
+    def work(self, iteration: int) -> float:
+        """Execute the superstep and return its CPU cost."""
+        cost = float(self._compute(self.comm, iteration))
+        if cost < 0.0:
+            raise ValueError(
+                f"rank {self.index} compute() returned negative cost {cost}"
+            )
+        self._steps_done += 1
+        self._world_step_bookkeeping(iteration)
+        return cost
+
+    # ------------------------------------------------------------------
+    def _world_step_bookkeeping(self, iteration: int) -> None:
+        """Flip the mailbox when the final rank of this superstep ran."""
+        world = self._world
+        counter = getattr(world, "_step_counter", {})
+        counter[iteration] = counter.get(iteration, 0) + 1
+        world._step_counter = counter  # type: ignore[attr-defined]
+        if counter[iteration] == world.size:
+            world.end_superstep()
+            del counter[iteration]

@@ -1,0 +1,39 @@
+"""The paper's applications, written against the chare runtime.
+
+Three CHARM++ applications drive the paper's evaluation:
+
+* **Jacobi2D** (:mod:`repro.apps.jacobi2d`) — canonical 5-point stencil
+  relaxation over a 2D grid.
+* **Wave2D** (:mod:`repro.apps.wave2d`) — 5-point stencil integration of
+  the 2D wave equation; also the paper's *background* job (a 2-core
+  instance) and the Figure 1/3 demo app.
+* **Mol3D** (:mod:`repro.apps.mol3d`) — classical molecular dynamics with
+  spatial cell decomposition; per-cell particle counts vary, giving the
+  *internal* load imbalance classic balancers were built for.
+
+Each application is an :class:`~repro.apps.base.AppModel`: it builds a
+:class:`~repro.runtime.chare.ChareArray` whose per-chare ``work()`` comes
+from an explicit flop-count cost model, and (optionally, for validation)
+whose ``execute()`` runs the real vectorised kernel from
+:mod:`repro.apps.stencil_kernels` / :mod:`repro.apps.md_kernels`.
+
+:class:`~repro.apps.synthetic.SyntheticApp` exposes the same interface
+with fully scripted per-chare loads for unit tests and ablations.
+"""
+
+from repro.apps.base import AppModel, CORE_SPEED_FLOPS
+from repro.apps.jacobi2d import Jacobi2D
+from repro.apps.wave2d import Wave2D
+from repro.apps.mol3d import Mol3D
+from repro.apps.synthetic import SyntheticApp
+from repro.apps.amr import AMR2D
+
+__all__ = [
+    "AppModel",
+    "CORE_SPEED_FLOPS",
+    "Jacobi2D",
+    "Wave2D",
+    "Mol3D",
+    "SyntheticApp",
+    "AMR2D",
+]

@@ -1,0 +1,225 @@
+"""Command-line interface.
+
+Regenerate any of the paper's figures (or run a quick demo) without
+writing code::
+
+    python -m repro fig1
+    python -m repro fig2 --scale 0.5 --cores 8 16 --apps jacobi2d
+    python -m repro fig3 --width 100
+    python -m repro fig4 --iterations 100
+    python -m repro headline
+    python -m repro demo --cores 16
+
+All commands print the regenerated table/timeline to stdout; ``--output
+DIR`` additionally writes it to ``DIR/<figure>.txt``. The heavy commands
+accept ``--scale`` (problem-size multiplier) and ``--iterations`` so a
+laptop can spot-check at a fraction of the paper-scale cost.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.version import __version__
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduce 'Cloud Friendly Load Balancing for HPC Applications' "
+            "(ICPP 2012): regenerate the paper's figures on the simulated "
+            "testbed."
+        ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p, iterations_default=200):
+        p.add_argument(
+            "--scale",
+            type=float,
+            default=1.0,
+            help="problem-size multiplier (1.0 = paper scale)",
+        )
+        p.add_argument(
+            "--iterations",
+            type=int,
+            default=iterations_default,
+            help="application iterations per run",
+        )
+        p.add_argument(
+            "--output",
+            type=Path,
+            default=None,
+            metavar="DIR",
+            help="also write the result into DIR/<figure>.txt",
+        )
+
+    p1 = sub.add_parser("fig1", help="Figure 1: interference timeline")
+    add_common(p1, iterations_default=12)
+    p1.add_argument("--width", type=int, default=72, help="timeline columns")
+
+    for name, desc in (
+        ("fig2", "Figure 2: timing penalties"),
+        ("fig4", "Figure 4: power and energy overhead"),
+        ("headline", "the paper's >=5%% reduction claim"),
+    ):
+        p = sub.add_parser(name, help=desc)
+        add_common(p)
+        p.add_argument(
+            "--cores",
+            type=int,
+            nargs="+",
+            default=None,
+            help="core counts to sweep (default: 8 16 24 32)",
+        )
+        p.add_argument(
+            "--apps",
+            nargs="+",
+            default=None,
+            choices=["jacobi2d", "wave2d", "mol3d"],
+            help="applications to evaluate (default: all three)",
+        )
+
+    p3 = sub.add_parser("fig3", help="Figure 3: dynamic rebalancing timeline")
+    add_common(p3)
+    p3.add_argument("--width", type=int, default=72, help="timeline columns")
+    p3.add_argument(
+        "--lb-period", type=int, default=4, help="LB period in iterations"
+    )
+
+    pd = sub.add_parser(
+        "demo", help="quick base / noLB / LB comparison on one app"
+    )
+    add_common(pd, iterations_default=100)
+    pd.add_argument("--cores", type=int, default=16, help="application cores")
+    pd.add_argument(
+        "--app",
+        default="jacobi2d",
+        choices=["jacobi2d", "wave2d", "mol3d"],
+        help="application to run",
+    )
+    return parser
+
+
+def _emit(text: str, name: str, output: Optional[Path]) -> None:
+    print(text)
+    if output is not None:
+        output.mkdir(parents=True, exist_ok=True)
+        path = output / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"[written to {path}]", file=sys.stderr)
+
+
+def _cmd_fig1(args) -> int:
+    from repro.experiments import fig1
+
+    res = fig1(scale=args.scale, iterations=args.iterations, width=args.width)
+    _emit(res.text(), "fig1", args.output)
+    return 0
+
+
+def _cmd_fig3(args) -> int:
+    from repro.experiments import fig3
+
+    res = fig3(scale=args.scale, lb_period=args.lb_period, width=args.width)
+    _emit(res.text(), "fig3", args.output)
+    return 0
+
+
+def _matrix(args):
+    from repro.experiments.figures import PAPER_CORE_COUNTS, run_matrix
+
+    return run_matrix(
+        apps=args.apps,
+        core_counts=tuple(args.cores) if args.cores else PAPER_CORE_COUNTS,
+        scale=args.scale,
+        iterations=args.iterations,
+    )
+
+
+def _cmd_fig2(args) -> int:
+    from repro.experiments import fig2
+
+    res = fig2(matrix=_matrix(args))
+    _emit(res.text(), "fig2", args.output)
+    return 0
+
+
+def _cmd_fig4(args) -> int:
+    from repro.experiments import fig4
+
+    res = fig4(matrix=_matrix(args))
+    _emit(res.text(), "fig4", args.output)
+    return 0
+
+
+def _cmd_headline(args) -> int:
+    from repro.experiments import format_table, headline_reductions
+    from repro.experiments.figures import PAPER_CLAIM_PERCENT
+
+    rows = headline_reductions(_matrix(args))
+    text = format_table(
+        ["app", "min penalty reduction %", "min energy reduction %", "claim met"],
+        [
+            (r.app_name, r.min_penalty_reduction, r.min_energy_reduction, r.meets_claim)
+            for r in rows
+        ],
+        title=f"Worst-case reductions (paper claims >= {PAPER_CLAIM_PERCENT:.0f}%)",
+    )
+    _emit(text, "headline", args.output)
+    return 0 if all(r.meets_claim for r in rows) else 1
+
+
+def _cmd_demo(args) -> int:
+    from repro.experiments import (
+        format_table,
+        percent_increase,
+        run_case,
+    )
+
+    case = run_case(
+        args.app, args.cores, scale=args.scale, iterations=args.iterations
+    )
+    rows = [
+        ("alone (base)", case.base.app_time, 0.0, case.base.avg_power_w),
+        ("interfered, noLB", case.nolb.app_time, case.penalty_nolb, case.power_nolb_w),
+        ("interfered, LB", case.lb.app_time, case.penalty_lb, case.power_lb_w),
+    ]
+    text = format_table(
+        ["run", "time (s)", "penalty %", "avg power W"],
+        rows,
+        title=f"{args.app} on {args.cores} cores, 2-core Wave2D interfering",
+        float_fmt="{:.2f}",
+    )
+    _emit(text, "demo", args.output)
+    return 0
+
+
+_COMMANDS = {
+    "fig1": _cmd_fig1,
+    "fig2": _cmd_fig2,
+    "fig3": _cmd_fig3,
+    "fig4": _cmd_fig4,
+    "headline": _cmd_headline,
+    "demo": _cmd_demo,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,38 @@
+"""Cluster substrate: nodes, cores, VMs, interference, network.
+
+The paper's testbed is 8 single-socket nodes with a quad-core Xeon X3430
+(32 cores total), per-node watt meters, and co-located VMs supplying
+interference. This package models that hardware:
+
+* :mod:`repro.cluster.node` / :mod:`repro.cluster.cluster` — nodes made of
+  :class:`~repro.sim.cpu.SharedCore` cores, grouped into a
+  :class:`Cluster` with the paper's default shape (8 x 4).
+* :mod:`repro.cluster.vm` — VM descriptors pinning an accounting domain to
+  physical cores; co-location of two VMs on a core is what produces
+  interference.
+* :mod:`repro.cluster.background` — interfering-load primitives with
+  start/stop schedules (the "BG task" of Figures 1 and 3). The *measured*
+  background job of Figure 2 is a real 2-core Wave2D application built by
+  the experiment harness; the primitives here model generic noisy
+  neighbours.
+* :mod:`repro.cluster.netmodel` — message/migration cost model, with a
+  degraded "virtualised" preset reflecting the inferior network performance
+  the paper cites for clouds.
+"""
+
+from repro.cluster.node import Node
+from repro.cluster.cluster import Cluster
+from repro.cluster.vm import VirtualMachine, colocated_cores
+from repro.cluster.background import Interferer, InterferencePhase, PhasedInterference
+from repro.cluster.netmodel import NetworkModel
+
+__all__ = [
+    "Node",
+    "Cluster",
+    "VirtualMachine",
+    "colocated_cores",
+    "Interferer",
+    "InterferencePhase",
+    "PhasedInterference",
+    "NetworkModel",
+]

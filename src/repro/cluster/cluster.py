@@ -1,0 +1,136 @@
+"""Cluster: the full testbed of nodes and cores.
+
+The default shape mirrors the paper's testbed — 8 nodes x 4 cores = 32
+cores. A :class:`Cluster` owns its cores (each a proportional-share
+:class:`~repro.sim.cpu.SharedCore`) and provides the id arithmetic the rest
+of the system needs: core -> node lookup, per-owner ``/proc/stat`` views,
+and subset selection for runs that use fewer cores than exist (Figure 2
+sweeps 4..32 cores on the same testbed).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.sim.cpu import SharedCore
+from repro.sim.engine import SimulationEngine
+from repro.sim.procstat import ProcStat
+from repro.cluster.node import Node
+from repro.util import check_positive
+
+__all__ = ["Cluster"]
+
+
+class Cluster:
+    """A homogeneous cluster of multi-core nodes.
+
+    Parameters
+    ----------
+    engine:
+        Simulation engine (time source) shared by all cores.
+    num_nodes:
+        Number of nodes (paper testbed: 8).
+    cores_per_node:
+        Cores per node (paper testbed: 4, the quad-core Xeon X3430).
+    record_intervals:
+        Forwarded to every core; enables busy-interval logs used for power
+        time-series and timeline rendering.
+    core_speeds:
+        Optional per-core relative speeds (length ``num_nodes *
+        cores_per_node``; default: homogeneous 1.0). Models clouds whose
+        VMs land on hosts of different generations — see
+        :class:`~repro.sim.cpu.SharedCore` for the accounting semantics.
+    """
+
+    #: The paper's testbed shape.
+    DEFAULT_NODES = 8
+    DEFAULT_CORES_PER_NODE = 4
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        num_nodes: int = DEFAULT_NODES,
+        cores_per_node: int = DEFAULT_CORES_PER_NODE,
+        *,
+        record_intervals: bool = False,
+        core_speeds: Optional[Sequence[float]] = None,
+    ) -> None:
+        check_positive("num_nodes", num_nodes)
+        check_positive("cores_per_node", cores_per_node)
+        total = int(num_nodes) * int(cores_per_node)
+        if core_speeds is not None and len(core_speeds) != total:
+            raise ValueError(
+                f"core_speeds has {len(core_speeds)} entries, expected {total}"
+            )
+        self.engine = engine
+        self.num_nodes = int(num_nodes)
+        self.cores_per_node = int(cores_per_node)
+        self.nodes: List[Node] = []
+        self.cores: List[SharedCore] = []
+        cid = 0
+        for nid in range(self.num_nodes):
+            node = Node(node_id=nid)
+            for _ in range(self.cores_per_node):
+                speed = 1.0 if core_speeds is None else float(core_speeds[cid])
+                core = SharedCore(
+                    engine, cid, speed=speed, record_intervals=record_intervals
+                )
+                node.cores.append(core)
+                self.cores.append(core)
+                cid += 1
+            self.nodes.append(node)
+
+    # ------------------------------------------------------------------
+    # lookup helpers
+    # ------------------------------------------------------------------
+    @property
+    def num_cores(self) -> int:
+        """Total core count across all nodes."""
+        return self.num_nodes * self.cores_per_node
+
+    def core(self, core_id: int) -> SharedCore:
+        """The core with global id ``core_id``."""
+        if not 0 <= core_id < self.num_cores:
+            raise IndexError(f"core_id {core_id} out of range [0, {self.num_cores})")
+        return self.cores[core_id]
+
+    def node_of(self, core_id: int) -> Node:
+        """The node hosting global core ``core_id``."""
+        if not 0 <= core_id < self.num_cores:
+            raise IndexError(f"core_id {core_id} out of range [0, {self.num_cores})")
+        return self.nodes[core_id // self.cores_per_node]
+
+    def nodes_for(self, core_ids: Iterable[int]) -> List[Node]:
+        """Distinct nodes (in id order) covering ``core_ids``."""
+        seen: Dict[int, Node] = {}
+        for cid in core_ids:
+            node = self.node_of(cid)
+            seen[node.node_id] = node
+        return [seen[k] for k in sorted(seen)]
+
+    def procstat(
+        self, owner: str, core_ids: Optional[Sequence[int]] = None
+    ) -> ProcStat:
+        """An OS-counter view for job ``owner`` over ``core_ids``.
+
+        ``core_ids`` defaults to every core in the cluster.
+        """
+        if core_ids is None:
+            core_ids = range(self.num_cores)
+        return ProcStat({cid: self.core(cid) for cid in core_ids}, owner=owner)
+
+    def sync_all(self) -> None:
+        """Bring every core's accounting up to the current time."""
+        for core in self.cores:
+            core.sync()
+
+    def finalize_intervals(self) -> None:
+        """Close open busy intervals on every core (end of run)."""
+        for core in self.cores:
+            core.finalize_intervals()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Cluster(nodes={self.num_nodes}, cores_per_node="
+            f"{self.cores_per_node})"
+        )

@@ -1,0 +1,57 @@
+"""Compute node: a group of cores sharing a power budget.
+
+Matches the paper's testbed unit: one single-socket quad-core machine with
+its own watt meter. Nothing here enforces intra-node behaviour beyond
+grouping — cores are independent under processor sharing — but power
+accounting (base power per *node*) and VM co-location reasoning both need
+the grouping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.sim.cpu import SharedCore
+
+__all__ = ["Node"]
+
+
+@dataclass
+class Node:
+    """One physical machine.
+
+    Attributes
+    ----------
+    node_id:
+        Index within the cluster.
+    cores:
+        The node's cores, in global-core-id order.
+    """
+
+    node_id: int
+    cores: List[SharedCore] = field(default_factory=list)
+
+    @property
+    def core_ids(self) -> Sequence[int]:
+        """Global ids of this node's cores."""
+        return [c.core_id for c in self.cores]
+
+    @property
+    def num_cores(self) -> int:
+        return len(self.cores)
+
+    def busy_core_count(self) -> int:
+        """Number of cores currently executing at least one process."""
+        return sum(1 for c in self.cores if c.runnable_count > 0)
+
+    def total_busy_time(self) -> float:
+        """Sum of per-core busy wall-seconds (synchronised to now)."""
+        total = 0.0
+        for c in self.cores:
+            c.sync()
+            total += c.busy_time
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Node(id={self.node_id}, cores={self.core_ids})"

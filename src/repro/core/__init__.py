@@ -1,0 +1,82 @@
+"""Load balancing — the paper's primary contribution.
+
+The central class is :class:`RefineVMInterferenceLB`
+(:mod:`repro.core.interference`), a line-by-line implementation of the
+paper's Algorithm 1: refinement load balancing that accounts for the
+*background load* ``O_p`` a core loses to co-located interfering jobs.
+
+Everything a balancer sees is an immutable :class:`LBView`
+(:mod:`repro.core.database`): per-core task CPU times from the runtime's
+instrumentation plus the Eq.-(2) background loads derived from
+``/proc/stat`` counters. Balancers return :class:`Migration` decisions;
+the runtime applies them and charges migration costs.
+
+Baselines and extensions:
+
+* :class:`NoLB` — never migrates (the paper's "noLB" series).
+* :class:`RefineLB` — classic Charm++-style refinement, *ignoring* O_p
+  (what existed before the paper; the ablation baseline).
+* :class:`GreedyLB` — rebuild-from-scratch greedy assignment.
+* :class:`MigrationCostAwareLB` — wraps any balancer and drops migrations
+  whose predicted gain cannot offset their transfer cost: the strategy the
+  paper sketches as future work in §VI.
+"""
+
+from repro.core.database import (
+    CoreLoad,
+    LBDatabase,
+    LBView,
+    Migration,
+    TaskRecord,
+)
+from repro.core.balancer import LoadBalancer
+from repro.core.nolb import NoLB
+from repro.core.refine import RefineLB
+from repro.core.greedy import GreedyLB
+from repro.core.interference import RefineVMInterferenceLB
+from repro.core.commaware import CommAwareRefineLB
+from repro.core.hierarchical import HierarchicalLB
+from repro.core.migration_cost import MigrationCostAwareLB
+from repro.core.policies import AdaptiveLBPolicy, LBPolicy
+from repro.core.serialize import (
+    dump_view,
+    load_view,
+    migrations_from_dict,
+    migrations_to_dict,
+    view_from_dict,
+    view_to_dict,
+)
+from repro.core.metrics import (
+    imbalance_ratio,
+    max_load,
+    migration_volume_bytes,
+    within_epsilon,
+)
+
+__all__ = [
+    "TaskRecord",
+    "CoreLoad",
+    "LBView",
+    "Migration",
+    "LBDatabase",
+    "LoadBalancer",
+    "NoLB",
+    "RefineLB",
+    "GreedyLB",
+    "RefineVMInterferenceLB",
+    "CommAwareRefineLB",
+    "HierarchicalLB",
+    "MigrationCostAwareLB",
+    "LBPolicy",
+    "AdaptiveLBPolicy",
+    "imbalance_ratio",
+    "max_load",
+    "migration_volume_bytes",
+    "within_epsilon",
+    "view_to_dict",
+    "view_from_dict",
+    "migrations_to_dict",
+    "migrations_from_dict",
+    "dump_view",
+    "load_view",
+]

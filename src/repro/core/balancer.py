@@ -1,0 +1,46 @@
+"""Load balancer interface.
+
+A balancer is a pure strategy: :class:`LBView` in, migrations out. All
+state the paper's algorithm needs (measured task times, background loads)
+is in the view; balancers must not reach into the runtime or simulator.
+That mirrors Charm++'s strategy plug-in contract ("Programmers can add
+their own application or platform specific strategy to the load balancing
+framework") and is what lets the benchmarks swap strategies freely.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List
+
+from repro.core.database import LBView, Migration, validate_migrations
+
+__all__ = ["LoadBalancer"]
+
+
+class LoadBalancer(abc.ABC):
+    """Strategy interface: decide migrations from an instrumented view."""
+
+    #: Human-readable strategy name (used in benchmark tables).
+    name: str = "base"
+
+    @abc.abstractmethod
+    def decide(self, view: LBView) -> List[Migration]:
+        """Return the migrations to apply for this LB step.
+
+        Implementations must be deterministic and side-effect free with
+        respect to the view.
+        """
+
+    def balance(self, view: LBView) -> List[Migration]:
+        """Decide and validate. This is what the runtime calls.
+
+        Wraps :meth:`decide` with consistency checks so a buggy strategy
+        fails loudly instead of corrupting the object mapping.
+        """
+        migrations = self.decide(view)
+        validate_migrations(view, migrations)
+        return migrations
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"

@@ -1,0 +1,71 @@
+"""Max-heap of cores keyed by load, as used by Algorithm 1.
+
+The paper's pseudocode manipulates an ``overheap`` (max-heap of overloaded
+cores) and an ``underset`` (set of underloaded cores). Core loads change as
+tasks are transferred, so the heap supports keyed re-insertion; with at
+most a few dozen cores a simple binary heap with lazy invalidation is both
+simple and fast.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Dict, Generic, List, Optional, Tuple, TypeVar
+
+T = TypeVar("T")
+
+__all__ = ["MaxHeap"]
+
+
+class MaxHeap(Generic[T]):
+    """Max-heap with updatable priorities and lazy deletion.
+
+    ``push(item, priority)`` on an existing item re-prioritises it.
+    ``pop()`` returns the item with the largest priority (FIFO among
+    ties, for determinism).
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, T]] = []
+        self._live: Dict[T, Tuple[float, int]] = {}
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._live)
+
+    def __contains__(self, item: T) -> bool:
+        return item in self._live
+
+    def push(self, item: T, priority: float) -> None:
+        """Insert ``item`` or update its priority."""
+        entry = (-priority, next(self._counter))
+        self._live[item] = entry
+        heapq.heappush(self._heap, (entry[0], entry[1], item))
+
+    def remove(self, item: T) -> None:
+        """Remove ``item`` (lazy). No-op if absent."""
+        self._live.pop(item, None)
+
+    def priority(self, item: T) -> Optional[float]:
+        """Current priority of ``item`` (None if absent)."""
+        entry = self._live.get(item)
+        return None if entry is None else -entry[0]
+
+    def pop(self) -> Tuple[T, float]:
+        """Remove and return ``(item, priority)`` with the max priority."""
+        while self._heap:
+            negp, cnt, item = heapq.heappop(self._heap)
+            if self._live.get(item) == (negp, cnt):
+                del self._live[item]
+                return item, -negp
+        raise IndexError("pop from empty MaxHeap")
+
+    def peek(self) -> Tuple[T, float]:
+        """Return ``(item, priority)`` with the max priority, not removing."""
+        while self._heap:
+            negp, cnt, item = self._heap[0]
+            if self._live.get(item) == (negp, cnt):
+                return item, -negp
+            heapq.heappop(self._heap)
+        raise IndexError("peek at empty MaxHeap")

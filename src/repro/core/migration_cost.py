@@ -1,0 +1,109 @@
+"""Migration-cost-aware gating — the paper's §VI future work.
+
+    "Due to the inferior performance of network, we also plan to explore
+    a strategy where load balancing decisions are performed every time a
+    load balancer is invoked, however, data migration is performed only
+    if we expect gains that can offset the cost of migration."
+
+:class:`MigrationCostAwareLB` wraps any inner strategy. At each step it
+lets the inner strategy decide, then *predicts* the benefit over the next
+LB window and compares it to the transfer cost under a
+:class:`~repro.cluster.netmodel.NetworkModel`:
+
+* **gain** — the drop in the maximum per-core load (the iteration-time
+  bound of a tightly coupled app) between the current mapping and the
+  post-migration mapping, assuming load persistence;
+* **cost** — migrations proceed in parallel across cores but serialise on
+  each core's NIC, so cost = max over cores of that core's inbound plus
+  outbound transfer time.
+
+If ``gain < safety_factor * cost`` the step performs *no* migrations
+(decisions are still made, exactly as the paper describes). On a degraded
+virtualised network this gate suppresses churn that would cost more than
+it saves — benchmark ABL-MIGCOST sweeps chare state size to find the
+crossover.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.cluster.netmodel import NetworkModel
+from repro.core.balancer import LoadBalancer
+from repro.core.database import LBView, Migration
+from repro.util import check_positive
+
+__all__ = ["MigrationCostAwareLB"]
+
+
+class MigrationCostAwareLB(LoadBalancer):
+    """Gate an inner balancer's migrations on predicted net benefit.
+
+    Parameters
+    ----------
+    inner:
+        The strategy producing candidate migrations.
+    net:
+        Network model used to price the transfers.
+    safety_factor:
+        Required gain/cost ratio (>1 demands a margin before migrating).
+    """
+
+    def __init__(
+        self,
+        inner: LoadBalancer,
+        net: NetworkModel,
+        *,
+        safety_factor: float = 1.0,
+    ) -> None:
+        check_positive("safety_factor", safety_factor)
+        self.inner = inner
+        self.net = net
+        self.safety_factor = float(safety_factor)
+        self.name = f"migcost({inner.name})"
+        #: count of LB steps whose migrations were suppressed by the gate
+        self.suppressed_steps = 0
+
+    # ------------------------------------------------------------------
+    def decide(self, view: LBView) -> List[Migration]:
+        migrations = self.inner.balance(view)
+        if not migrations:
+            return []
+        gain = self.predicted_gain(view, migrations)
+        cost = self.migration_cost(view, migrations)
+        if gain < self.safety_factor * cost:
+            self.suppressed_steps += 1
+            return []
+        return migrations
+
+    # ------------------------------------------------------------------
+    # prediction helpers (public: benchmarks introspect them)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def predicted_gain(view: LBView, migrations: Sequence[Migration]) -> float:
+        """Drop in max per-core load over the next window (persistence).
+
+        The iteration time of a tightly coupled application is bounded by
+        its most loaded core, so the max-load drop is the wall-clock the
+        next window is expected to save.
+        """
+        load: Dict[int, float] = {c.core_id: c.total_load for c in view.cores}
+        before = max(load.values(), default=0.0)
+        task_time = {t.chare: t.cpu_time for c in view.cores for t in c.tasks}
+        for m in migrations:
+            load[m.src] -= task_time[m.chare]
+            load[m.dst] += task_time[m.chare]
+        after = max(load.values(), default=0.0)
+        return max(before - after, 0.0)
+
+    def migration_cost(
+        self, view: LBView, migrations: Sequence[Migration]
+    ) -> float:
+        """Wall-clock cost of the transfers (per-core serialisation)."""
+        size = {t.chare: t.state_bytes for c in view.cores for t in c.tasks}
+        per_core: Dict[int, float] = {}
+        for m in migrations:
+            t = self.net.migration_time(size[m.chare])
+            per_core[m.src] = per_core.get(m.src, 0.0) + t
+            per_core[m.dst] = per_core.get(m.dst, 0.0) + t
+        return max(per_core.values(), default=0.0)

@@ -1,0 +1,24 @@
+"""The null balancer — the paper's "noLB" series.
+
+Keeping the initial static mapping for the whole run is exactly what a
+conventional (non-migratable) MPI execution does, and is the baseline
+every figure in the paper compares against.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.balancer import LoadBalancer
+from repro.core.database import LBView, Migration
+
+__all__ = ["NoLB"]
+
+
+class NoLB(LoadBalancer):
+    """Never migrates anything."""
+
+    name = "nolb"
+
+    def decide(self, view: LBView) -> List[Migration]:
+        return []

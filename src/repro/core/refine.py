@@ -1,0 +1,28 @@
+"""Classic refinement balancing — interference-*oblivious*.
+
+This is what the Charm++ LB framework offered before the paper: refine the
+mapping using only the application's own measured task times. It restores
+*internal* load balance but is blind to co-located VMs, so a core that
+loses half its cycles to an interferer still looks perfectly average.
+It exists here as the key ablation: the paper's entire delta is adding
+O_p to the load model, so comparing :class:`RefineLB` with
+:class:`~repro.core.interference.RefineVMInterferenceLB` isolates that
+contribution (benchmark ABL-AWARE).
+"""
+
+from __future__ import annotations
+
+from repro.core.interference import RefineVMInterferenceLB
+
+__all__ = ["RefineLB"]
+
+
+class RefineLB(RefineVMInterferenceLB):
+    """Refinement using task times only (``use_bg_load=False``)."""
+
+    name = "refine"
+
+    def __init__(self, epsilon: float = 0.05, *, absolute_epsilon: bool = False) -> None:
+        super().__init__(
+            epsilon, use_bg_load=False, absolute_epsilon=absolute_epsilon
+        )

@@ -1,0 +1,60 @@
+"""Experiment harness: scenarios, runs, penalties, and figure generators.
+
+This package turns the library into the paper's evaluation:
+
+* :mod:`repro.experiments.scenario` — declarative run descriptions
+  (application, core count, background job, balancer, network).
+* :mod:`repro.experiments.runner` — execute a scenario on a fresh
+  simulated cluster; returns timings, energy and traces.
+* :mod:`repro.experiments.penalty` — the paper's derived quantities:
+  timing penalty % and normalised energy overhead %.
+* :mod:`repro.experiments.figures` — one generator per paper figure
+  (``fig1`` … ``fig4``) plus the headline ≥50 %-reduction check; each
+  returns structured data and a formatted text table.
+* :mod:`repro.experiments.tables` — plain-text table rendering.
+"""
+
+from repro.experiments.scenario import BackgroundSpec, Scenario
+from repro.experiments.runner import ExperimentResult, run_scenario
+from repro.experiments.penalty import percent_increase
+from repro.experiments.figures import (
+    CaseResult,
+    Fig2Row,
+    Fig4Row,
+    PAPER_CORE_COUNTS,
+    fig1,
+    fig2,
+    fig3,
+    fig4,
+    headline_reductions,
+    paper_app,
+    paper_app_names,
+    run_case,
+)
+from repro.experiments.repeat import RepeatedCase, RunStatistics, repeat_case, summarize
+from repro.experiments.tables import format_table
+
+__all__ = [
+    "BackgroundSpec",
+    "Scenario",
+    "ExperimentResult",
+    "run_scenario",
+    "percent_increase",
+    "CaseResult",
+    "Fig2Row",
+    "Fig4Row",
+    "PAPER_CORE_COUNTS",
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "headline_reductions",
+    "paper_app",
+    "paper_app_names",
+    "run_case",
+    "format_table",
+    "RepeatedCase",
+    "RunStatistics",
+    "repeat_case",
+    "summarize",
+]

@@ -1,0 +1,29 @@
+"""The paper's derived quantities.
+
+Timing penalty (§V-A): "the additional time it takes to run the parallel
+job with interference ... as a percentage of time taken by the same run
+without any interference". Energy overhead (§V-B): energy normalised
+"with respect to a base run where the application ran without any
+interference from the background load".
+
+Both reduce to :func:`percent_increase`.
+"""
+
+from __future__ import annotations
+
+from repro.util import check_positive
+
+__all__ = ["percent_increase"]
+
+
+def percent_increase(measured: float, baseline: float) -> float:
+    """``100 * (measured - baseline) / baseline``.
+
+    Raises
+    ------
+    ValueError
+        If ``baseline`` is not positive (a penalty against a zero-cost
+        baseline is undefined).
+    """
+    check_positive("baseline", baseline)
+    return 100.0 * (measured - baseline) / baseline

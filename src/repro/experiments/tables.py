@@ -1,0 +1,51 @@
+"""Plain-text table rendering for the figure harnesses."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+__all__ = ["format_table"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: Optional[str] = None,
+    float_fmt: str = "{:.1f}",
+) -> str:
+    """Render an aligned monospace table.
+
+    Floats are formatted with ``float_fmt``; everything else with
+    ``str``. Columns are right-aligned except the first.
+    """
+    def cell(v: object) -> str:
+        if isinstance(v, bool) or v is None:
+            return str(v)
+        if isinstance(v, float):
+            return float_fmt.format(v)
+        return str(v)
+
+    str_rows: List[List[str]] = [[cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        parts = []
+        for i, c in enumerate(cells):
+            parts.append(c.ljust(widths[i]) if i == 0 else c.rjust(widths[i]))
+        return "  ".join(parts)
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(headers))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_row(r) for r in str_rows)
+    return "\n".join(lines)

@@ -1,0 +1,20 @@
+"""Power and energy modelling.
+
+The paper's energy argument rests on two numbers from its testbed: a node
+draws **40 W at idle (base power)** and **170 W fully loaded**. Idle cores
+waiting at a barrier therefore still burn most of a node's power, which is
+why shortening the run (load balancing) saves energy even though average
+power *rises* (Figure 4).
+
+* :mod:`repro.power.model` — :class:`PowerModel`: node power as an affine
+  function of busy-core count.
+* :mod:`repro.power.meter` — :class:`PowerMeter`: per-node energy
+  integration from the cores' exact busy-time counters, plus a sampled
+  power time-series reconstructed from busy intervals (the per-second
+  readings the testbed's meters provided).
+"""
+
+from repro.power.model import PowerModel
+from repro.power.meter import EnergyReading, PowerMeter
+
+__all__ = ["PowerModel", "PowerMeter", "EnergyReading"]

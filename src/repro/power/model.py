@@ -1,0 +1,91 @@
+"""Node power model.
+
+Affine in busy-core count::
+
+    P_node(k) = base_w + k * (peak_w - base_w) / cores_per_node
+
+with ``k`` the number of cores currently executing at least one process.
+Defaults are the paper's testbed numbers: base 40 W, peak 170 W, 4 cores
+per node, so each busy core adds 32.5 W.
+
+The affine form is the standard first-order CPU power model (dynamic power
+proportional to utilisation) and is exactly the structure the paper's
+argument needs: a large utilisation-independent base term plus a dynamic
+term that load balancing redistributes but does not grow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util import check_positive, check_non_negative
+
+__all__ = ["PowerModel"]
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Affine busy-core power model (defaults: the paper's testbed).
+
+    Attributes
+    ----------
+    base_w:
+        Node power with all cores idle (paper: 40 W).
+    peak_w:
+        Node power with all cores busy (paper: 170 W).
+    cores_per_node:
+        Cores per node (paper: 4).
+    """
+
+    base_w: float = 40.0
+    peak_w: float = 170.0
+    cores_per_node: int = 4
+
+    def __post_init__(self) -> None:
+        check_non_negative("base_w", self.base_w)
+        check_positive("peak_w", self.peak_w)
+        check_positive("cores_per_node", self.cores_per_node)
+        if self.peak_w < self.base_w:
+            raise ValueError(
+                f"peak_w ({self.peak_w}) must be >= base_w ({self.base_w})"
+            )
+
+    @property
+    def dynamic_per_core_w(self) -> float:
+        """Additional watts drawn by one busy core (paper: 32.5 W)."""
+        return (self.peak_w - self.base_w) / self.cores_per_node
+
+    def node_power(self, busy_cores: int) -> float:
+        """Instantaneous node power with ``busy_cores`` cores busy."""
+        if not 0 <= busy_cores <= self.cores_per_node:
+            raise ValueError(
+                f"busy_cores must be in [0, {self.cores_per_node}], got {busy_cores}"
+            )
+        return self.base_w + busy_cores * self.dynamic_per_core_w
+
+    def energy(self, duration_s: float, busy_core_seconds: float, nodes: int) -> float:
+        """Exact energy (J) over a window, from integrated counters.
+
+        Because power is affine in busy cores, the integral needs only the
+        window length and the total busy core-seconds::
+
+            E = nodes * base_w * T + dynamic_per_core_w * sum_busy
+
+        Parameters
+        ----------
+        duration_s:
+            Window length ``T``.
+        busy_core_seconds:
+            Σ over cores of busy wall-time within the window.
+        nodes:
+            Number of powered nodes.
+        """
+        check_non_negative("duration_s", duration_s)
+        check_non_negative("busy_core_seconds", busy_core_seconds)
+        check_positive("nodes", nodes)
+        if busy_core_seconds > duration_s * nodes * self.cores_per_node + 1e-9:
+            raise ValueError(
+                "busy_core_seconds exceeds window capacity: "
+                f"{busy_core_seconds} > {duration_s * nodes * self.cores_per_node}"
+            )
+        return nodes * self.base_w * duration_s + self.dynamic_per_core_w * busy_core_seconds

@@ -1,0 +1,31 @@
+"""Projections-style timeline analysis.
+
+The paper presents its qualitative evidence as Projections timelines:
+per-core horizontal bars showing task executions (coloured) and idle time
+(white), before and after balancing (Figures 1 and 3). This package
+rebuilds that tooling over :class:`~repro.runtime.tracing.TraceLog`:
+
+* :mod:`repro.projections.timeline` — extract per-core busy/idle interval
+  sequences for a time window or an iteration range.
+* :mod:`repro.projections.render` — ASCII timeline rendering (one row per
+  core), the terminal-friendly equivalent of the paper's screenshots.
+* :mod:`repro.projections.summary` — utilisation statistics per core and
+  per iteration (the numbers behind "grayish-white parts represent idle
+  time").
+"""
+
+from repro.projections.timeline import CoreTimeline, Interval, extract_timelines
+from repro.projections.render import render_timelines
+from repro.projections.summary import UtilizationSummary, summarize_utilization
+from repro.projections.export import to_trace_events, write_chrome_trace
+
+__all__ = [
+    "Interval",
+    "CoreTimeline",
+    "extract_timelines",
+    "render_timelines",
+    "UtilizationSummary",
+    "summarize_utilization",
+    "to_trace_events",
+    "write_chrome_trace",
+]

@@ -1,0 +1,128 @@
+"""Trace export to the Chrome/Perfetto ``trace_event`` format.
+
+The ASCII renderer is for terminals; for interactive inspection this
+module converts a :class:`~repro.runtime.tracing.TraceLog` into the JSON
+array flavour of the Trace Event Format understood by ``chrome://tracing``
+and https://ui.perfetto.dev — one "process" per job, one "thread" per
+core, a complete ("X") event per task execution, instant events for
+migrations, and flow-free duration events for LB steps.
+
+Times are exported in microseconds, as the format requires.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.runtime.tracing import TraceLog
+
+__all__ = ["to_trace_events", "write_chrome_trace"]
+
+_US = 1e6  # seconds -> microseconds
+
+
+def to_trace_events(
+    trace: TraceLog,
+    *,
+    job_name: str = "app",
+    pid: int = 1,
+) -> List[Dict[str, Any]]:
+    """Convert a trace log to a list of trace-event dicts.
+
+    Parameters
+    ----------
+    trace:
+        The runtime's event log (``tracing=True`` runs).
+    job_name:
+        Process name shown in the viewer.
+    pid:
+        Process id to assign (use distinct pids to overlay several jobs).
+    """
+    events: List[Dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "args": {"name": job_name},
+        }
+    ]
+    cores = sorted({t.core_id for t in trace.tasks})
+    for cid in cores:
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": cid,
+                "args": {"name": f"core {cid}"},
+            }
+        )
+    for t in trace.tasks:
+        events.append(
+            {
+                "name": f"{t.chare[0]}[{t.chare[1]}]",
+                "cat": "task",
+                "ph": "X",
+                "pid": pid,
+                "tid": t.core_id,
+                "ts": t.start * _US,
+                "dur": (t.end - t.start) * _US,
+                "args": {
+                    "iteration": t.iteration,
+                    "cpu_time_s": t.cpu_time,
+                    "wall_time_s": t.end - t.start,
+                },
+            }
+        )
+    for m in trace.migrations:
+        events.append(
+            {
+                "name": f"migrate {m.chare[0]}[{m.chare[1]}] {m.src}->{m.dst}",
+                "cat": "migration",
+                "ph": "i",
+                "s": "p",  # process-scoped instant
+                "pid": pid,
+                "tid": m.src,
+                "ts": m.time * _US,
+                "args": {"state_bytes": m.state_bytes, "dst": m.dst},
+            }
+        )
+    for step in trace.lb_steps:
+        events.append(
+            {
+                "name": f"LB step ({step.num_migrations} migrations)",
+                "cat": "lb",
+                "ph": "X",
+                "pid": pid,
+                "tid": cores[0] if cores else 0,
+                "ts": step.time * _US,
+                "dur": max(step.migration_cost_s, 1e-6) * _US,
+                "args": {
+                    "iteration": step.iteration,
+                    "t_avg": step.t_avg,
+                    "max_load": step.max_load,
+                },
+            }
+        )
+    return events
+
+
+def write_chrome_trace(
+    trace: TraceLog,
+    path: str,
+    *,
+    job_name: str = "app",
+    extra: Optional[Sequence[TraceLog]] = None,
+) -> int:
+    """Write ``trace`` (plus optional co-scheduled jobs) as JSON.
+
+    Returns the number of events written. ``extra`` traces get their own
+    process lanes (pid 2, 3, ...).
+    """
+    events = to_trace_events(trace, job_name=job_name, pid=1)
+    for i, other in enumerate(extra or (), start=2):
+        events.extend(to_trace_events(other, job_name=f"job-{i}", pid=i))
+    with open(path, "w") as fh:
+        json.dump(events, fh)
+    return len(events)

@@ -1,0 +1,54 @@
+"""Messages driving the runtime.
+
+Charm++ execution is message-driven: an entry method runs only when a
+message for it reaches the object's core. The reproduction keeps that
+structure — the iteration driver *enqueues messages*, per-core schedulers
+*execute* them — because it is precisely what makes migration trivial
+(re-route future messages) and instrumentation natural (measure per
+message execution).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = ["ComputeMsg", "MigrateMsg"]
+
+ChareKey = Tuple[str, int]
+
+
+@dataclass(frozen=True)
+class ComputeMsg:
+    """Run one iteration's entry method on a chare.
+
+    Attributes
+    ----------
+    chare:
+        Target object.
+    iteration:
+        Iteration number the entry method belongs to (0-based).
+    """
+
+    chare: ChareKey
+    iteration: int
+
+
+@dataclass(frozen=True)
+class MigrateMsg:
+    """Record of a chare state transfer (for traces; cost handled by runtime).
+
+    Attributes
+    ----------
+    chare:
+        Object being moved.
+    src, dst:
+        Source and destination cores.
+    state_bytes:
+        Serialised payload size.
+    """
+
+    chare: ChareKey
+    src: int
+    dst: int
+    state_bytes: float

@@ -1,0 +1,105 @@
+"""Charm++-style reductions.
+
+Tightly coupled iterative codes end each step with a global combine —
+residual norms (Jacobi), total energy (MD). Charm++ expresses these as
+*reductions*: every chare contributes a value, a spanning tree combines
+them, and the result is delivered to a client callback.
+
+:class:`Reduction` reproduces the semantics (contribute / combine /
+deliver, with completeness checking); its latency is part of the
+runtime's per-iteration communication delay (a log₂(P) message chain,
+see :meth:`Reduction.tree_latency`).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.cluster.netmodel import NetworkModel
+
+__all__ = ["REDUCERS", "Reduction"]
+
+ChareKey = Tuple[str, int]
+
+#: Built-in combiners, by name (mirrors CkReduction's sum/max/min/prod).
+REDUCERS: Dict[str, Callable[[float, float], float]] = {
+    "sum": lambda a, b: a + b,
+    "max": max,
+    "min": min,
+    "prod": lambda a, b: a * b,
+}
+
+
+class Reduction:
+    """One reduction instance over a fixed set of contributors.
+
+    Parameters
+    ----------
+    contributors:
+        The chare keys expected to contribute exactly once each.
+    reducer:
+        Name in :data:`REDUCERS` or a custom associative-commutative
+        binary callable.
+    client:
+        Optional callback receiving the combined value on completion.
+    """
+
+    def __init__(
+        self,
+        contributors: List[ChareKey],
+        reducer: Callable[[float, float], float] = REDUCERS["sum"],
+        client: Optional[Callable[[float], None]] = None,
+    ) -> None:
+        if not contributors:
+            raise ValueError("Reduction needs at least one contributor")
+        if isinstance(reducer, str):
+            try:
+                reducer = REDUCERS[reducer]
+            except KeyError:
+                raise ValueError(
+                    f"unknown reducer {reducer!r}; known: {sorted(REDUCERS)}"
+                ) from None
+        self._expected = set(contributors)
+        self._seen: Dict[ChareKey, float] = {}
+        self._reducer = reducer
+        self._client = client
+        self._acc: Optional[float] = None
+        self.result: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def complete(self) -> bool:
+        """Have all contributors reported?"""
+        return len(self._seen) == len(self._expected)
+
+    @property
+    def pending(self) -> int:
+        """Contributors still missing."""
+        return len(self._expected) - len(self._seen)
+
+    def contribute(self, chare: ChareKey, value: float) -> None:
+        """Add one contribution; delivers to the client on the last one."""
+        if chare not in self._expected:
+            raise ValueError(f"{chare} is not a contributor to this reduction")
+        if chare in self._seen:
+            raise ValueError(f"{chare} contributed twice")
+        self._seen[chare] = value
+        self._acc = value if self._acc is None else self._reducer(self._acc, value)
+        if self.complete:
+            self.result = self._acc
+            if self._client is not None:
+                self._client(self.result)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def tree_latency(num_cores: int, net: NetworkModel, payload_bytes: float = 8.0) -> float:
+        """Latency of a binary combining tree over ``num_cores`` cores.
+
+        ``ceil(log2 P)`` sequential message hops of ``payload_bytes`` each
+        (contributions within a core are free).
+        """
+        if num_cores < 1:
+            raise ValueError("num_cores must be >= 1")
+        hops = math.ceil(math.log2(num_cores)) if num_cores > 1 else 0
+        return hops * net.message_time(payload_bytes)

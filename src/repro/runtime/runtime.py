@@ -1,0 +1,504 @@
+"""The runtime: one parallel job of migratable objects.
+
+A :class:`Runtime` drives a tightly coupled iterative application:
+
+1. **Iteration.** For every core the job uses, enqueue one
+   :class:`~repro.runtime.messages.ComputeMsg` per chare mapped there; the
+   per-core :class:`~repro.runtime.scheduler.CoreScheduler` executes them
+   back-to-back under processor sharing.
+2. **Barrier.** The iteration ends when every core drains — one interfered
+   straggler stalls everyone (the paper's Figure 1 mechanism).
+3. **Communication.** Before the next iteration the job pays a halo
+   exchange plus reduction-tree delay from its
+   :class:`~repro.cluster.netmodel.NetworkModel`.
+4. **Load balancing.** When the :class:`~repro.core.policies.LBPolicy`
+   says a step is due, the runtime builds an
+   :class:`~repro.core.database.LBView` from its instrumentation database
+   (task CPU times + Eq.-(2) background loads), asks the balancer for
+   migrations, applies them to the object mapping, and charges the
+   migration transfer time plus decision overhead before resuming —
+   the paper's wall-clock times "include the time taken for object
+   migration".
+
+Several runtimes may share one engine and cluster: the measured 2-core
+background job of Figure 2 is simply a second ``Runtime`` with its own
+owner tag and (optionally) OS weight, co-located on two of the
+application's cores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.netmodel import NetworkModel
+from repro.core.balancer import LoadBalancer
+from repro.core.database import LBDatabase, Migration
+from repro.core.policies import LBPolicy
+from repro.runtime.chare import Chare, ChareArray
+from repro.runtime.commgraph import CommGraph
+from repro.runtime.messages import ComputeMsg
+from repro.runtime.reductions import Reduction
+from repro.runtime.scheduler import CoreScheduler
+from repro.runtime.tracing import (
+    IterationEvent,
+    LBStepEvent,
+    MigrationEvent,
+    TaskEvent,
+    TraceLog,
+)
+from repro.sim.engine import SimulationEngine
+from repro.sim.process import SimProcess
+from repro.util import check_non_negative, check_positive, get_logger
+
+__all__ = ["Runtime", "RunStats"]
+
+ChareKey = Tuple[str, int]
+_log = get_logger(__name__)
+
+
+@dataclass(frozen=True)
+class RunStats:
+    """Summary of one completed run.
+
+    Attributes
+    ----------
+    name:
+        Job name (accounting tag).
+    finished_at:
+        Simulated completion time of the last iteration's barrier.
+    iterations:
+        Number of iterations executed.
+    iteration_times:
+        Wall time of each iteration (compute + barrier only; inter-
+        iteration communication/LB gaps are *between* entries).
+    lb_steps:
+        Number of LB invocations.
+    total_migrations:
+        Objects moved across all steps.
+    total_migration_cost_s:
+        Wall-clock charged for state transfer.
+    total_task_cpu_s:
+        CPU-seconds consumed by the job's entry methods.
+    """
+
+    name: str
+    finished_at: float
+    iterations: int
+    iteration_times: Tuple[float, ...]
+    lb_steps: int
+    total_migrations: int
+    total_migration_cost_s: float
+    total_task_cpu_s: float
+
+
+class Runtime:
+    """One parallel job over a set of cores.
+
+    Parameters
+    ----------
+    engine, cluster:
+        Shared simulation substrate.
+    core_ids:
+        Cores this job runs on (its "allocation").
+    name:
+        Unique accounting tag (``owner`` of all its processes).
+    weight:
+        OS share weight of the job's processes (>1 models a job the host
+        scheduler favours — the paper's Mol3D background-load observation).
+    net:
+        Network model for communication and migration costs
+        (default: :meth:`NetworkModel.native`).
+    balancer, policy:
+        Load-balancing strategy and cadence. ``balancer=None`` disables
+        balancing entirely (the noLB runs).
+    comm_bytes:
+        Halo bytes a core exchanges per iteration (application-dependent).
+        Ignored when ``comm_graph`` is given.
+    comm_graph:
+        Optional per-chare communication graph. When present, the
+        per-iteration communication delay is derived from the *current
+        object mapping* (co-located neighbours free, same-node cheap,
+        remote full price — see
+        :meth:`~repro.runtime.commgraph.CommGraph.per_core_external_bytes`),
+        so migrations change communication cost; and the LB database
+        records each task's communication partners for
+        communication-aware strategies.
+    local_comm_factor:
+        Relative cost of intra-node vs. inter-node communication under a
+        ``comm_graph`` (shared-memory transport discount).
+    tracing:
+        Record Projections-style events (needed for timelines).
+    run_kernels:
+        Invoke :meth:`Chare.execute` (real NumPy computation) before each
+        simulated task — validates numerics at the cost of speed.
+    """
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        cluster: Cluster,
+        core_ids: Sequence[int],
+        *,
+        name: str = "app",
+        weight: float = 1.0,
+        net: Optional[NetworkModel] = None,
+        balancer: Optional[LoadBalancer] = None,
+        policy: Optional[LBPolicy] = None,
+        comm_bytes: float = 0.0,
+        comm_graph: Optional["CommGraph"] = None,
+        local_comm_factor: float = 0.25,
+        tracing: bool = False,
+        run_kernels: bool = False,
+    ) -> None:
+        if not core_ids:
+            raise ValueError("Runtime needs at least one core")
+        if len(set(core_ids)) != len(core_ids):
+            raise ValueError("core_ids contains duplicates")
+        check_positive("weight", weight)
+        check_non_negative("comm_bytes", comm_bytes)
+        self.engine = engine
+        self.cluster = cluster
+        self.core_ids: List[int] = list(core_ids)
+        self.name = name
+        self.weight = float(weight)
+        self.net = net or NetworkModel.native()
+        self.balancer = balancer
+        self.policy = policy or LBPolicy()
+        self.comm_bytes = float(comm_bytes)
+        self.comm_graph = comm_graph
+        check_non_negative("local_comm_factor", local_comm_factor)
+        self.local_comm_factor = float(local_comm_factor)
+        self._node_of: Dict[int, int] = {
+            cid: cluster.node_of(cid).node_id for cid in core_ids
+        }
+        self.trace = TraceLog(enabled=tracing)
+        self.run_kernels = bool(run_kernels)
+
+        self.arrays: Dict[str, ChareArray] = {}
+        self.chares: Dict[ChareKey, Chare] = {}
+        self.mapping: Dict[ChareKey, int] = {}
+
+        self.schedulers: Dict[int, CoreScheduler] = {
+            cid: CoreScheduler(
+                cluster.core(cid),
+                owner=self.name,
+                weight=self.weight,
+                work_of=self._work_of,
+                on_task_done=self._task_done,
+                on_drain=self._core_drained,
+            )
+            for cid in self.core_ids
+        }
+
+        self.db: Optional[LBDatabase] = None
+        self._total_iterations = 0
+        self._iteration = 0
+        self._iter_started = 0.0
+        self._arrived = 0
+        self._expected_arrivals = 0
+        self._started = False
+        self.finished_at: Optional[float] = None
+        self.iteration_times: List[float] = []
+        self.lb_step_count = 0
+        self.migration_count = 0
+        self.migration_cost_s = 0.0
+        self.total_task_cpu_s = 0.0
+        self._on_finish: List[Callable[["Runtime"], None]] = []
+        self._on_iteration: List[Callable[["Runtime", int], None]] = []
+        # per-iteration imbalance instrumentation (feeds adaptive policies)
+        self._iter_core_wall: Dict[int, float] = {}
+        self._last_lb_completed = 0
+        #: measured max/mean per-core wall share of each iteration
+        self.iteration_imbalance: List[float] = []
+
+    # ------------------------------------------------------------------
+    # setup
+    # ------------------------------------------------------------------
+    def register_array(
+        self,
+        array: ChareArray,
+        mapping: Optional[Dict[ChareKey, int]] = None,
+    ) -> None:
+        """Add a chare array; default placement is block mapping."""
+        if self._started:
+            raise RuntimeError("cannot register arrays after start()")
+        if array.name in self.arrays:
+            raise ValueError(f"array {array.name!r} already registered")
+        placement = mapping or array.block_mapping(self.core_ids)
+        # validate the full placement before mutating any state
+        for chare in array:
+            if chare.key not in placement:
+                raise ValueError(f"no placement for {chare.key}")
+            if placement[chare.key] not in self.schedulers:
+                raise ValueError(
+                    f"{chare.key} placed on core {placement[chare.key]} "
+                    "outside the job"
+                )
+        self.arrays[array.name] = array
+        for chare in array:
+            cid = placement[chare.key]
+            self.chares[chare.key] = chare
+            self.mapping[chare.key] = cid
+            chare.current_core = cid
+
+    def on_finish(self, callback: Callable[["Runtime"], None]) -> None:
+        """Register a completion callback (fires at the final barrier)."""
+        self._on_finish.append(callback)
+
+    def on_iteration(self, callback: Callable[["Runtime", int], None]) -> None:
+        """Register a per-iteration callback ``(runtime, iteration)``.
+
+        Fires at each iteration's barrier, before communication/LB.
+        Used by event-driven experiment scripts (e.g. the Figure 3
+        harness flips interference on and off at iteration boundaries).
+        """
+        self._on_iteration.append(callback)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def start(self, iterations: int, *, at: Optional[float] = None) -> None:
+        """Schedule the job to run ``iterations`` iterations.
+
+        Call ``engine.run()`` afterwards to execute. ``at`` delays the
+        job's launch (used to start interference mid-run).
+        """
+        check_positive("iterations", iterations)
+        if self._started:
+            raise RuntimeError("Runtime already started")
+        if not self.chares:
+            raise ValueError("no chare arrays registered")
+        self._started = True
+        self._total_iterations = int(iterations)
+        procstat = self.cluster.procstat(self.name, self.core_ids)
+        state_bytes = {k: c.state_bytes for k, c in self.chares.items()}
+        comm = None
+        if self.comm_graph is not None:
+            comm = {
+                key: self.comm_graph.neighbors(key) for key in self.chares
+            }
+        start_time = self.engine.now if at is None else at
+
+        def _launch() -> None:
+            # baseline the instrumentation window at launch, not at
+            # construction, so a delayed job does not see pre-launch time
+            self.db = LBDatabase(procstat, state_bytes, comm=comm)
+            self._begin_iteration(0)
+
+        self.engine.schedule_at(start_time, _launch)
+
+    @property
+    def done(self) -> bool:
+        """Has the final iteration's barrier completed?"""
+        return self.finished_at is not None
+
+    @property
+    def stats(self) -> RunStats:
+        """Summary of the run (valid once :attr:`done`)."""
+        if not self.done:
+            raise RuntimeError(f"job {self.name!r} has not finished")
+        return RunStats(
+            name=self.name,
+            finished_at=self.finished_at,
+            iterations=self._total_iterations,
+            iteration_times=tuple(self.iteration_times),
+            lb_steps=self.lb_step_count,
+            total_migrations=self.migration_count,
+            total_migration_cost_s=self.migration_cost_s,
+            total_task_cpu_s=self.total_task_cpu_s,
+        )
+
+    # ------------------------------------------------------------------
+    # iteration machinery
+    # ------------------------------------------------------------------
+    def _begin_iteration(self, iteration: int) -> None:
+        self._iteration = iteration
+        self._iter_started = self.engine.now
+        self._iter_core_wall = {cid: 0.0 for cid in self.core_ids}
+        self._arrived = 0
+        self._expected_arrivals = len(self.core_ids)
+        per_core: Dict[int, List[ChareKey]] = {cid: [] for cid in self.core_ids}
+        for key, cid in self.mapping.items():
+            per_core[cid].append(key)
+        empty_cores = 0
+        for cid in self.core_ids:
+            keys = sorted(per_core[cid])
+            if not keys:
+                empty_cores += 1
+                continue
+            sched = self.schedulers[cid]
+            for key in keys:
+                sched.enqueue(ComputeMsg(chare=key, iteration=iteration))
+        # cores with no objects arrive at the barrier instantly
+        for _ in range(empty_cores):
+            self._core_drained()
+
+    def _work_of(self, msg: ComputeMsg) -> float:
+        chare = self.chares[msg.chare]
+        if self.run_kernels:
+            chare.execute(msg.iteration)
+        demand = chare.work(msg.iteration)
+        if demand < 0:
+            raise ValueError(
+                f"{chare!r}.work({msg.iteration}) returned negative {demand}"
+            )
+        return demand
+
+    def _task_done(self, msg: ComputeMsg, proc: SimProcess) -> None:
+        chare = self.chares[msg.chare]
+        chare.executions += 1
+        chare.total_cpu_time += proc.cpu_time
+        self.total_task_cpu_s += proc.cpu_time
+        assert self.db is not None
+        self.db.record_task(msg.chare, proc.cpu_time)
+        started = proc.started_at if proc.started_at is not None else self.engine.now
+        core_id = self.mapping[msg.chare]
+        self._iter_core_wall[core_id] = (
+            self._iter_core_wall.get(core_id, 0.0) + (self.engine.now - started)
+        )
+        self.trace.add_task(
+            TaskEvent(
+                core_id=self.mapping[msg.chare],
+                chare=msg.chare,
+                iteration=msg.iteration,
+                start=proc.started_at if proc.started_at is not None else 0.0,
+                end=self.engine.now,
+                cpu_time=proc.cpu_time,
+            )
+        )
+
+    def _core_drained(self) -> None:
+        self._arrived += 1
+        if self._arrived == self._expected_arrivals:
+            self._end_iteration()
+
+    def _end_iteration(self) -> None:
+        now = self.engine.now
+        iteration = self._iteration
+        self.trace.add_iteration(
+            IterationEvent(iteration=iteration, start=self._iter_started, end=now)
+        )
+        self.iteration_times.append(now - self._iter_started)
+        self.iteration_imbalance.append(self._measure_imbalance())
+        for cb in self._on_iteration:
+            cb(self, iteration)
+        completed = iteration + 1
+        if completed == self._total_iterations:
+            self.finished_at = now
+            for cb in self._on_finish:
+                cb(self)
+            return
+        delay = self.comm_delay()
+        if self.balancer is not None and self.policy.due(
+            completed,
+            self._total_iterations,
+            imbalance=self.iteration_imbalance[-1],
+            since_last_lb=completed - self._last_lb_completed,
+        ):
+            self._last_lb_completed = completed
+            self.engine.schedule_after(delay, self._lb_step, completed)
+        else:
+            self.engine.schedule_after(delay, self._begin_iteration, completed)
+
+    def _measure_imbalance(self) -> float:
+        """Max/mean per-core wall time of the just-finished iteration.
+
+        Wall (not CPU) time: an interfered core's tasks stretch, so this
+        ratio rises toward the interference slowdown factor even though
+        the instrumented CPU loads stay flat — exactly the signal an
+        adaptive trigger needs between LB windows.
+        """
+        walls = [self._iter_core_wall.get(cid, 0.0) for cid in self.core_ids]
+        mean = sum(walls) / len(walls)
+        if mean <= 0.0:
+            return 1.0
+        return max(walls) / mean
+
+    def comm_delay(self) -> float:
+        """Per-iteration communication: halo exchange + reduction tree.
+
+        With a :class:`CommGraph`, the halo term is the slowest core's
+        effective external traffic under the *current* mapping — so a
+        locality-preserving balancer genuinely shortens this delay.
+        Without one, the application-declared flat ``comm_bytes`` is used.
+        """
+        if self.comm_graph is not None:
+            per_core = self.comm_graph.per_core_external_bytes(
+                self.mapping,
+                node_of=self._node_of,
+                local_factor=self.local_comm_factor,
+            )
+            worst = max(per_core.values(), default=0.0)
+            halo = self.net.message_time(worst) if worst > 0 else 0.0
+        else:
+            halo = self.net.message_time(self.comm_bytes) if self.comm_bytes else 0.0
+        tree = Reduction.tree_latency(len(self.core_ids), self.net)
+        return halo + tree
+
+    # ------------------------------------------------------------------
+    # load balancing
+    # ------------------------------------------------------------------
+    def _lb_step(self, next_iteration: int) -> None:
+        assert self.db is not None and self.balancer is not None
+        view = self.db.build_view(self.mapping)
+        migrations = self.balancer.balance(view)
+        cost = self._apply_migrations(migrations)
+        self.db.reset_window()
+        self.lb_step_count += 1
+        self.trace.add_lb_step(
+            LBStepEvent(
+                time=self.engine.now,
+                iteration=next_iteration,
+                num_migrations=len(migrations),
+                migration_cost_s=cost,
+                t_avg=view.t_avg,
+                max_load=max((c.total_load for c in view.cores), default=0.0),
+            )
+        )
+        _log.debug(
+            "%s: LB step before iteration %d -> %d migrations, cost %.6fs",
+            self.name,
+            next_iteration,
+            len(migrations),
+            cost,
+        )
+        pause = self.policy.decision_overhead_s + cost
+        self.engine.schedule_after(pause, self._begin_iteration, next_iteration)
+
+    def _apply_migrations(self, migrations: Sequence[Migration]) -> float:
+        """Re-map objects and return the transfer wall-clock cost.
+
+        Transfers proceed in parallel across cores but serialise per
+        core's link: cost = max over cores of its inbound+outbound sum.
+        Migrations between cores of the same node move through shared
+        memory and are discounted by ``local_comm_factor`` — the cost
+        asymmetry that locality-preferring strategies
+        (:class:`~repro.core.hierarchical.HierarchicalLB`) exploit.
+        """
+        per_core: Dict[int, float] = {}
+        for m in migrations:
+            chare = self.chares[m.chare]
+            t = self.net.migration_time(chare.state_bytes)
+            if self._node_of.get(m.src) == self._node_of.get(m.dst):
+                t *= self.local_comm_factor
+            per_core[m.src] = per_core.get(m.src, 0.0) + t
+            per_core[m.dst] = per_core.get(m.dst, 0.0) + t
+            self.mapping[m.chare] = m.dst
+            chare.current_core = m.dst
+            chare.migrations += 1
+            chare.on_migrate(m.src, m.dst)
+            self.migration_count += 1
+            self.trace.add_migration(
+                MigrationEvent(
+                    time=self.engine.now,
+                    chare=m.chare,
+                    src=m.src,
+                    dst=m.dst,
+                    state_bytes=chare.state_bytes,
+                )
+            )
+        cost = max(per_core.values(), default=0.0)
+        self.migration_cost_s += cost
+        return cost

@@ -1,0 +1,128 @@
+"""Projections-style execution traces.
+
+The paper analyses behaviour with Projections timelines (Figures 1 and 3).
+:class:`TraceLog` records the same primitive events — per-task execution
+intervals, iteration boundaries, LB steps, migrations — which
+:mod:`repro.projections` turns into per-core timelines, idle statistics
+and ASCII renderings.
+
+Tracing is optional (``Runtime(..., tracing=True)``); a disabled log
+accepts events and drops them, so call sites stay unconditional.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+__all__ = [
+    "TaskEvent",
+    "IterationEvent",
+    "LBStepEvent",
+    "MigrationEvent",
+    "TraceLog",
+]
+
+ChareKey = Tuple[str, int]
+
+
+@dataclass(frozen=True)
+class TaskEvent:
+    """One entry-method execution interval on a core.
+
+    ``end - start`` is the task's *wall* time (stretched by interference);
+    ``cpu_time`` is what the LB database records.
+    """
+
+    core_id: int
+    chare: ChareKey
+    iteration: int
+    start: float
+    end: float
+    cpu_time: float
+
+
+@dataclass(frozen=True)
+class IterationEvent:
+    """Completion of one application iteration."""
+
+    iteration: int
+    start: float
+    end: float
+
+
+@dataclass(frozen=True)
+class LBStepEvent:
+    """One load-balancing step."""
+
+    time: float
+    iteration: int
+    num_migrations: int
+    migration_cost_s: float
+    t_avg: float
+    max_load: float
+
+
+@dataclass(frozen=True)
+class MigrationEvent:
+    """One object migration."""
+
+    time: float
+    chare: ChareKey
+    src: int
+    dst: int
+    state_bytes: float
+
+
+class TraceLog:
+    """Append-only event log for one runtime.
+
+    Parameters
+    ----------
+    enabled:
+        When False every ``add_*`` is a no-op (zero overhead beyond the
+        call).
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = bool(enabled)
+        self.tasks: List[TaskEvent] = []
+        self.iterations: List[IterationEvent] = []
+        self.lb_steps: List[LBStepEvent] = []
+        self.migrations: List[MigrationEvent] = []
+
+    # ------------------------------------------------------------------
+    def add_task(self, ev: TaskEvent) -> None:
+        if self.enabled:
+            self.tasks.append(ev)
+
+    def add_iteration(self, ev: IterationEvent) -> None:
+        if self.enabled:
+            self.iterations.append(ev)
+
+    def add_lb_step(self, ev: LBStepEvent) -> None:
+        if self.enabled:
+            self.lb_steps.append(ev)
+
+    def add_migration(self, ev: MigrationEvent) -> None:
+        if self.enabled:
+            self.migrations.append(ev)
+
+    # ------------------------------------------------------------------
+    def tasks_on_core(self, core_id: int) -> List[TaskEvent]:
+        """Task events on one core, in start-time order."""
+        return sorted(
+            (t for t in self.tasks if t.core_id == core_id),
+            key=lambda t: t.start,
+        )
+
+    def iteration_span(self, iteration: int) -> Optional[IterationEvent]:
+        """The record for ``iteration``, or None if absent."""
+        for ev in self.iterations:
+            if ev.iteration == iteration:
+                return ev
+        return None
+
+    def total_migrations(self) -> int:
+        """Total migrations across all LB steps."""
+        return len(self.migrations)

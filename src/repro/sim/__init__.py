@@ -1,0 +1,33 @@
+"""Discrete-event simulation substrate.
+
+This package provides the mechanistic foundation for the reproduction:
+
+* :mod:`repro.sim.engine` — a deterministic discrete-event engine
+  (time-ordered heap, cancellable events).
+* :mod:`repro.sim.process` — :class:`SimProcess`, a unit of CPU demand
+  (one chare task execution, or one slice of a background job).
+* :mod:`repro.sim.cpu` — :class:`SharedCore`, a proportional-share CPU
+  model: all runnable processes on a core advance simultaneously at rates
+  proportional to their scheduler weights. This is what produces
+  *interference* in the reproduction — a co-located background job steals
+  a share of the core exactly as Linux CFS time-slicing does at a
+  coarse-grained level.
+* :mod:`repro.sim.procstat` — synthesized ``/proc/stat``-style counters.
+  The load balancer reads *these*, never simulator ground truth, which
+  keeps the reproduction honest to the paper's Eq. (2).
+"""
+
+from repro.sim.engine import EventHandle, SimulationEngine
+from repro.sim.process import ProcessState, SimProcess
+from repro.sim.cpu import SharedCore
+from repro.sim.procstat import CoreStatSnapshot, ProcStat
+
+__all__ = [
+    "EventHandle",
+    "SimulationEngine",
+    "ProcessState",
+    "SimProcess",
+    "SharedCore",
+    "CoreStatSnapshot",
+    "ProcStat",
+]

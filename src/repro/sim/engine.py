@@ -1,0 +1,187 @@
+"""Deterministic discrete-event engine.
+
+The engine owns simulated time. Components schedule callbacks at absolute
+times or after delays and receive an :class:`EventHandle` they may cancel.
+Events at equal times fire in scheduling order (a monotonically increasing
+sequence number breaks ties), which makes every simulation bit-reproducible
+across runs and platforms.
+
+The engine is intentionally minimal — no processes, resources, or channels
+here; those live in :mod:`repro.sim.cpu` and :mod:`repro.runtime`. Keeping
+the core this small makes its invariants easy to state and property-test:
+
+* time never decreases;
+* a cancelled event never fires;
+* events at the same timestamp fire in FIFO order.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.util import check_non_negative
+
+__all__ = ["EventHandle", "SimulationEngine"]
+
+
+@dataclass(order=False)
+class EventHandle:
+    """Handle to a scheduled event; returned by ``schedule_*`` methods.
+
+    Attributes
+    ----------
+    time:
+        Absolute simulated time at which the callback fires.
+    seq:
+        Tie-break sequence number (FIFO among equal times).
+    cancelled:
+        True once :meth:`SimulationEngine.cancel` was called; a cancelled
+        event is skipped when popped (lazy deletion).
+    fired:
+        True once the callback ran.
+    """
+
+    time: float
+    seq: int
+    callback: Callable[..., None] = field(repr=False)
+    args: Tuple[Any, ...] = field(default=(), repr=False)
+    cancelled: bool = False
+    fired: bool = False
+
+    def cancel(self) -> None:
+        """Mark the event cancelled (idempotent; no effect if fired)."""
+        self.cancelled = True
+
+
+class SimulationEngine:
+    """Time-ordered event loop.
+
+    Examples
+    --------
+    >>> eng = SimulationEngine()
+    >>> out = []
+    >>> _ = eng.schedule_after(2.0, out.append, "b")
+    >>> _ = eng.schedule_after(1.0, out.append, "a")
+    >>> eng.run()
+    >>> out
+    ['a', 'b']
+    >>> eng.now
+    2.0
+    """
+
+    def __init__(self) -> None:
+        self._now: float = 0.0
+        self._heap: List[Tuple[float, int, EventHandle]] = []
+        self._seq: int = 0
+        self._events_fired: int = 0
+        self._events_cancelled: int = 0
+        self._running: bool = False
+
+    # ------------------------------------------------------------------
+    # time & introspection
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time (seconds)."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of scheduled, not-yet-fired, not-cancelled events."""
+        return sum(1 for _, _, h in self._heap if not h.cancelled)
+
+    @property
+    def events_fired(self) -> int:
+        """Total callbacks executed so far (excludes cancelled events)."""
+        return self._events_fired
+
+    @property
+    def events_cancelled(self) -> int:
+        """Total events cancelled so far."""
+        return self._events_cancelled
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule_at(
+        self, time: float, callback: Callable[..., None], *args: Any
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` at absolute time ``time``.
+
+        Raises
+        ------
+        ValueError
+            If ``time`` precedes the current simulated time.
+        """
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule event in the past: time={time} < now={self._now}"
+            )
+        handle = EventHandle(time=time, seq=self._seq, callback=callback, args=args)
+        self._seq += 1
+        heapq.heappush(self._heap, (handle.time, handle.seq, handle))
+        return handle
+
+    def schedule_after(
+        self, delay: float, callback: Callable[..., None], *args: Any
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` after ``delay`` seconds (>= 0)."""
+        check_non_negative("delay", delay)
+        return self.schedule_at(self._now + delay, callback, *args)
+
+    def cancel(self, handle: EventHandle) -> None:
+        """Cancel a previously scheduled event (lazy removal)."""
+        if not handle.fired and not handle.cancelled:
+            handle.cancel()
+            self._events_cancelled += 1
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Fire the next pending event. Return False if none remain."""
+        while self._heap:
+            _, _, handle = heapq.heappop(self._heap)
+            if handle.cancelled:
+                continue
+            self._now = handle.time
+            handle.fired = True
+            self._events_fired += 1
+            handle.callback(*handle.args)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run events until the heap drains, ``until`` is reached, or
+        ``max_events`` callbacks have fired.
+
+        When ``until`` is given, events strictly after it stay queued and
+        simulated time advances exactly to ``until`` (so a subsequent
+        ``run`` resumes cleanly).
+        """
+        if self._running:
+            raise RuntimeError("SimulationEngine.run is not reentrant")
+        self._running = True
+        fired = 0
+        try:
+            while self._heap:
+                if max_events is not None and fired >= max_events:
+                    return
+                time, seq, handle = self._heap[0]
+                if handle.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and time > until:
+                    break
+                heapq.heappop(self._heap)
+                self._now = time
+                handle.fired = True
+                self._events_fired += 1
+                handle.callback(*handle.args)
+                fired += 1
+            if until is not None and until > self._now:
+                self._now = until
+        finally:
+            self._running = False

@@ -1,0 +1,27 @@
+"""Small shared utilities: argument validation, RNG handling, logging.
+
+These helpers keep the rest of the library free of repetitive defensive
+boilerplate while still failing fast (and with actionable messages) on
+bad inputs — important for a simulator whose results silently degrade if,
+say, a negative work amount sneaks in.
+"""
+
+from repro.util.validation import (
+    check_finite,
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_type,
+)
+from repro.util.rng import resolve_rng
+from repro.util.log import get_logger
+
+__all__ = [
+    "check_finite",
+    "check_in_range",
+    "check_non_negative",
+    "check_positive",
+    "check_type",
+    "resolve_rng",
+    "get_logger",
+]

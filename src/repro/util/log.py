@@ -1,0 +1,23 @@
+"""Library logging.
+
+A thin wrapper over :mod:`logging` so the library never configures the
+root logger (an application concern) but still gives each subsystem a
+namespaced logger: ``repro.sim``, ``repro.core`` and so on.
+"""
+
+from __future__ import annotations
+
+import logging
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return the ``repro``-namespaced logger for ``name``.
+
+    ``name`` may already start with ``repro`` (e.g. ``__name__`` inside the
+    package) or be a bare suffix like ``"sim.engine"``.
+    """
+    if not name.startswith("repro"):
+        name = f"repro.{name}"
+    logger = logging.getLogger(name)
+    logger.addHandler(logging.NullHandler())
+    return logger

@@ -1,0 +1,31 @@
+"""Deterministic random-number handling.
+
+The whole library is deterministic given a seed: simulations never read
+wall-clock time or global RNG state. Any function that needs randomness
+accepts a ``seed`` / ``rng`` argument and funnels it through
+:func:`resolve_rng`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+RngLike = Union[None, int, np.random.Generator]
+
+
+def resolve_rng(seed: RngLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    Accepts ``None`` (fresh default seed 0 — deterministic by policy),
+    an integer seed, or an existing ``Generator`` (returned unchanged, so
+    callers can thread one generator through a pipeline).
+    """
+    if seed is None:
+        return np.random.default_rng(0)
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, (int, np.integer)):
+        return np.random.default_rng(int(seed))
+    raise TypeError(f"seed must be None, int, or numpy Generator, got {seed!r}")

@@ -1,0 +1,83 @@
+"""Argument validation helpers.
+
+Every public entry point of the library validates its inputs with these
+functions so that configuration errors surface at construction time with a
+clear message, rather than as NaNs three subsystems later.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Optional, Tuple, Type, Union
+
+Number = Union[int, float]
+
+
+def check_type(name: str, value: Any, types: Union[Type, Tuple[Type, ...]]) -> Any:
+    """Raise ``TypeError`` unless ``value`` is an instance of ``types``.
+
+    Returns ``value`` unchanged so the call can be used inline::
+
+        self.cores = check_type("cores", cores, int)
+    """
+    if not isinstance(value, types):
+        if isinstance(types, tuple):
+            expected = " or ".join(t.__name__ for t in types)
+        else:
+            expected = types.__name__
+        raise TypeError(
+            f"{name} must be {expected}, got {type(value).__name__} ({value!r})"
+        )
+    return value
+
+
+def check_finite(name: str, value: Number) -> Number:
+    """Raise ``ValueError`` if ``value`` is NaN or infinite."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise TypeError(f"{name} must be a real number, got {value!r}")
+    if not math.isfinite(value):
+        raise ValueError(f"{name} must be finite, got {value!r}")
+    return value
+
+
+def check_non_negative(name: str, value: Number) -> Number:
+    """Raise ``ValueError`` unless ``value`` is a finite number >= 0."""
+    check_finite(name, value)
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_positive(name: str, value: Number) -> Number:
+    """Raise ``ValueError`` unless ``value`` is a finite number > 0."""
+    check_finite(name, value)
+    if value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_in_range(
+    name: str,
+    value: Number,
+    low: Optional[Number] = None,
+    high: Optional[Number] = None,
+    *,
+    low_inclusive: bool = True,
+    high_inclusive: bool = True,
+) -> Number:
+    """Raise ``ValueError`` unless ``low <(=) value <(=) high``.
+
+    ``None`` bounds are unbounded on that side.
+    """
+    check_finite(name, value)
+    if low is not None:
+        if low_inclusive and value < low:
+            raise ValueError(f"{name} must be >= {low}, got {value!r}")
+        if not low_inclusive and value <= low:
+            raise ValueError(f"{name} must be > {low}, got {value!r}")
+    if high is not None:
+        if high_inclusive and value > high:
+            raise ValueError(f"{name} must be <= {high}, got {value!r}")
+        if not high_inclusive and value >= high:
+            raise ValueError(f"{name} must be < {high}, got {value!r}")
+    return value

@@ -1,0 +1,128 @@
+"""Tests for the AMPI layer."""
+
+import pytest
+
+from repro.ampi import AmpiComm, AmpiProgram
+from repro.cluster import Cluster, Interferer, NetworkModel
+from repro.core import LBPolicy, RefineVMInterferenceLB
+from repro.sim import SimulationEngine
+
+
+def run_program(program, num_cores=2, iterations=3, balancer=None, interfere=None):
+    eng = SimulationEngine()
+    cl = Cluster(eng, num_nodes=1, cores_per_node=num_cores)
+    rt = program.instantiate(
+        eng,
+        cl,
+        list(range(num_cores)),
+        net=NetworkModel.zero(),
+        balancer=balancer,
+        policy=LBPolicy(period_iterations=2, decision_overhead_s=0.0),
+    )
+    if interfere is not None:
+        Interferer(eng, cl.core(interfere), start=0.0)
+    rt.start(iterations=iterations)
+    eng.run(until=1000.0)
+    return rt
+
+
+def test_simple_program_runs_to_completion():
+    program = AmpiProgram(num_ranks=8, compute=lambda comm, it: 0.01)
+    rt = run_program(program)
+    assert rt.done
+    # 8 ranks over 2 cores: 4 x 0.01s per core per superstep
+    assert rt.stats.iteration_times[0] == pytest.approx(0.04)
+
+
+def test_ring_messages_arrive_next_superstep():
+    seen = {}
+
+    def compute(comm: AmpiComm, it: int) -> float:
+        msg = comm.recv((comm.rank - 1) % comm.size)
+        seen.setdefault(comm.rank, []).append(msg)
+        comm.send((comm.rank + 1) % comm.size, (comm.rank, it))
+        return 0.001
+
+    program = AmpiProgram(num_ranks=4, compute=compute)
+    run_program(program, iterations=3)
+    for rank in range(4):
+        # superstep 0: nothing yet; afterwards: neighbour's previous send
+        assert seen[rank][0] is None
+        src = (rank - 1) % 4
+        assert seen[rank][1] == (src, 0)
+        assert seen[rank][2] == (src, 1)
+
+
+def test_allreduce_sum_available_next_superstep():
+    results = []
+
+    def compute(comm: AmpiComm, it: int) -> float:
+        if comm.rank == 0:
+            results.append(comm.reduced())
+        comm.allreduce(float(comm.rank), op="sum")
+        return 0.001
+
+    program = AmpiProgram(num_ranks=4, compute=compute)
+    run_program(program, iterations=3)
+    assert results[0] is None
+    assert results[1] == pytest.approx(6.0)  # 0+1+2+3
+    assert results[2] == pytest.approx(6.0)
+
+
+def test_allreduce_max():
+    results = []
+
+    def compute(comm: AmpiComm, it: int) -> float:
+        if comm.rank == 0 and it == 1:
+            results.append(comm.reduced())
+        comm.allreduce(float(comm.rank * 10), op="max")
+        return 0.001
+
+    run_program(AmpiProgram(num_ranks=3, compute=compute), iterations=2)
+    assert results == [20.0]
+
+
+def test_mixed_ops_rejected():
+    def compute(comm: AmpiComm, it: int) -> float:
+        comm.allreduce(1.0, op="sum" if comm.rank == 0 else "max")
+        return 0.001
+
+    with pytest.raises(ValueError):
+        run_program(AmpiProgram(num_ranks=2, compute=compute), iterations=1)
+
+
+def test_bad_peer_ranks_rejected():
+    def compute(comm: AmpiComm, it: int) -> float:
+        comm.send(99, "x")
+        return 0.001
+
+    with pytest.raises(ValueError):
+        run_program(AmpiProgram(num_ranks=2, compute=compute), iterations=1)
+
+
+def test_negative_cost_rejected():
+    with pytest.raises(ValueError):
+        run_program(AmpiProgram(num_ranks=2, compute=lambda c, i: -1.0), iterations=1)
+
+
+def test_ranks_are_load_balanced_under_interference():
+    """AMPI ranks migrate away from an interfered core like any chare."""
+    program = AmpiProgram(num_ranks=16, compute=lambda comm, it: 0.02)
+    rt = run_program(
+        program,
+        num_cores=4,
+        iterations=10,
+        balancer=RefineVMInterferenceLB(0.05),
+        interfere=0,
+    )
+    assert rt.done
+    assert rt.migration_count > 0
+    on_core0 = sum(1 for cid in rt.mapping.values() if cid == 0)
+    assert on_core0 < 4  # started with 4, balancer drained some away
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        AmpiProgram(num_ranks=0, compute=lambda c, i: 0.0)
+    with pytest.raises(ValueError):
+        AmpiProgram(num_ranks=2, compute=lambda c, i: 0.0, state_bytes=-1.0)

@@ -1,0 +1,84 @@
+"""Unit tests for the AMR2D moving-front application."""
+
+import pytest
+
+from repro.apps import AMR2D
+from repro.apps.amr import AMRStripChare
+from repro.cluster import Cluster, NetworkModel
+from repro.core import LBPolicy, RefineVMInterferenceLB
+from repro.sim import SimulationEngine
+
+
+def test_front_inflates_cost_by_refinement_factor():
+    app = AMR2D(grid_size=512, odf=4, refinement=8.0, front_speed=0.0)
+    arr = app.build_array(4)
+    works = [c.work(0) for c in arr]
+    assert max(works) == pytest.approx(8.0 * min(works))
+
+
+def test_front_moves_over_time():
+    app = AMR2D(grid_size=512, odf=4, refinement=4.0, front_speed=0.5)
+    arr = app.build_array(4)
+    hot_at_0 = {c.index for c in arr if c.in_front(0)}
+    hot_later = {c.index for c in arr if c.in_front(40)}
+    assert hot_at_0 != hot_later
+
+
+def test_front_wraps_periodically():
+    app = AMR2D(grid_size=512, odf=4, refinement=4.0, front_speed=1.0)
+    arr = app.build_array(4)
+    n = len(arr)
+    hot_at_0 = {c.index for c in arr if c.in_front(0)}
+    hot_at_period = {c.index for c in arr if c.in_front(n)}
+    assert hot_at_0 == hot_at_period
+
+
+def test_total_work_is_iteration_independent_in_aggregate():
+    """The front covers a constant strip count, so total work is stable."""
+    app = AMR2D(grid_size=1024, odf=8, refinement=8.0, front_speed=0.3)
+    arr = app.build_array(4)
+    totals = [sum(c.work(it) for c in arr) for it in range(0, 40, 5)]
+    assert max(totals) / min(totals) < 1.2
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        AMR2D(front_width_frac=1.5)
+    with pytest.raises(ValueError):
+        AMR2D(refinement=0.0)
+    with pytest.raises(ValueError):
+        AMRStripChare(0, 4, 4, num_strips=8, refinement=0.0, front_width=1, front_speed=0.0)
+    app = AMR2D(grid_size=16, odf=8)
+    with pytest.raises(ValueError):
+        app.build_array(4)  # 32 strips from 16 rows
+
+
+def test_slow_front_is_balanceable():
+    """In the persistence regime, the LB tracks the front and wins."""
+
+    def run(balancer):
+        eng = SimulationEngine()
+        cl = Cluster(eng, num_nodes=1, cores_per_node=4)
+        app = AMR2D(
+            grid_size=512, odf=8, refinement=8.0,
+            front_speed=0.05, front_width_frac=0.2,
+        )
+        rt = app.instantiate(
+            eng, cl, [0, 1, 2, 3],
+            net=NetworkModel.zero(),
+            balancer=balancer,
+            policy=LBPolicy(period_iterations=5, decision_overhead_s=0.0),
+        )
+        rt.start(iterations=80)
+        eng.run()
+        return rt.finished_at
+
+    nolb = run(None)
+    lb = run(RefineVMInterferenceLB(0.05))
+    assert lb < 0.85 * nolb
+
+
+def test_comm_graph_available():
+    app = AMR2D(grid_size=512, odf=2)
+    g = app.comm_graph(4)
+    assert g.num_edges == 7

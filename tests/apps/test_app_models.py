@@ -1,0 +1,147 @@
+"""Unit tests for the application models."""
+
+import pytest
+
+from repro.apps import Jacobi2D, Mol3D, SyntheticApp, Wave2D
+from repro.apps.stencil import StencilStripChare, build_strip_array
+from repro.apps.stencil_kernels import JACOBI_FLOPS_PER_CELL, WAVE_FLOPS_PER_CELL
+from repro.cluster import Cluster, NetworkModel
+from repro.sim import SimulationEngine
+
+
+class TestStencilStrip:
+    def test_work_matches_flop_model(self):
+        c = StencilStripChare(
+            0, 16, 4096, flops_per_cell=6.0, core_speed=1e9, jitter_amp=0.0
+        )
+        assert c.work(0) == pytest.approx(16 * 4096 * 6.0 / 1e9)
+
+    def test_jitter_is_small_and_deterministic(self):
+        c = StencilStripChare(
+            3, 16, 512, flops_per_cell=6.0, jitter_amp=0.01
+        )
+        base = 16 * 512 * 6.0 / StencilStripChare(0, 16, 512, flops_per_cell=6.0).core_speed
+        for it in range(10):
+            w = c.work(it)
+            assert abs(w - base) <= 0.011 * base
+            assert w == c.work(it)  # deterministic
+
+    def test_state_bytes_counts_fields(self):
+        c2 = StencilStripChare(0, 10, 10, flops_per_cell=1.0, fields=2)
+        c3 = StencilStripChare(0, 10, 10, flops_per_cell=1.0, fields=3)
+        assert c3.state_bytes == pytest.approx(1.5 * c2.state_bytes)
+
+    def test_build_strip_array_covers_grid(self):
+        arr = build_strip_array("s", 100, 7, flops_per_cell=1.0)
+        assert sum(c.rows for c in arr) == 100
+        rows = [c.rows for c in arr]
+        assert max(rows) - min(rows) <= 1
+
+    def test_too_many_strips_rejected(self):
+        with pytest.raises(ValueError):
+            build_strip_array("s", 4, 8, flops_per_cell=1.0)
+
+    def test_execute_runs_real_kernel(self):
+        c = StencilStripChare(0, 8, 8, flops_per_cell=6.0)
+        c.execute(0)
+        c.execute(1)
+        assert c._grid is not None
+        # heat from the fixed hot ghost row has started diffusing in
+        assert c._grid[1, 1:-1].max() > 0.0
+
+
+class TestStencilApps:
+    @pytest.mark.parametrize("model_cls,flops", [
+        (Jacobi2D, JACOBI_FLOPS_PER_CELL),
+        (Wave2D, WAVE_FLOPS_PER_CELL),
+    ])
+    def test_total_work_independent_of_cores(self, model_cls, flops):
+        app = model_cls(grid_size=512, odf=4, jitter_amp=0.0)
+        for cores in (2, 4):
+            arr = app.build_array(cores)
+            assert len(arr) == 4 * cores
+            total = sum(c.work(0) for c in arr)
+            assert total == pytest.approx(512 * 512 * flops / 1e9)
+
+    def test_comm_bytes_is_two_halo_rows(self):
+        app = Jacobi2D(grid_size=1024)
+        assert app.comm_bytes(8) == 2 * 1024 * 8
+
+    def test_instantiate_builds_runnable_runtime(self):
+        eng = SimulationEngine()
+        cl = Cluster(eng, num_nodes=1, cores_per_node=2)
+        app = Jacobi2D(grid_size=256, odf=2, jitter_amp=0.0)
+        rt = app.instantiate(eng, cl, [0, 1], net=NetworkModel.zero())
+        rt.start(iterations=3)
+        eng.run()
+        assert rt.done
+        expected_iter = 256 * 256 * JACOBI_FLOPS_PER_CELL / 1e9 / 2
+        assert rt.stats.iteration_times[0] == pytest.approx(expected_iter, rel=0.01)
+
+    def test_background_instance_has_one_chare_per_core(self):
+        bg = Wave2D.background()
+        arr = bg.build_array(2)
+        assert len(arr) == 2
+
+
+class TestMol3D:
+    def test_cell_count_and_particle_conservation(self):
+        app = Mol3D(total_particles=10_000, odf=4, seed=7)
+        arr = app.build_array(8)
+        assert len(arr) == 32
+        assert sum(c.particles for c in arr) == 10_000
+
+    def test_density_clustering_creates_internal_imbalance(self):
+        app = Mol3D(total_particles=20_000, odf=8, density_cv=0.4, seed=3)
+        arr = app.build_array(4)
+        works = [c.work(0) for c in arr]
+        assert max(works) > 1.5 * min(works)
+
+    def test_uniform_density_is_nearly_balanced(self):
+        app = Mol3D(total_particles=32_000, odf=4, density_cv=0.0, drift_amp=0.0)
+        arr = app.build_array(4)
+        works = [c.work(0) for c in arr]
+        assert max(works) < 1.02 * min(works)
+
+    def test_load_drift_is_slow_and_bounded(self):
+        app = Mol3D(total_particles=8_000, odf=2, drift_amp=0.05, drift_period=100)
+        c = app.build_array(2)[0]
+        w0 = c.work(0)
+        # consecutive iterations differ by far less than the amplitude
+        assert abs(c.work(1) - w0) / w0 < 0.02
+        # but over half a period the drift is visible
+        assert any(abs(c.work(i) - w0) / w0 > 0.01 for i in range(100))
+
+    def test_seed_reproducibility(self):
+        a = Mol3D(seed=5).build_array(2)
+        b = Mol3D(seed=5).build_array(2)
+        assert [c.particles for c in a] == [c.particles for c in b]
+
+    def test_execute_runs_md_kernel(self):
+        app = Mol3D(total_particles=200, odf=1)
+        c = app.build_array(2)[0]
+        c.execute(0)
+        c.execute(1)
+        assert c._positions is not None
+
+
+class TestSyntheticApp:
+    def test_sequence_works(self):
+        app = SyntheticApp([1.0, 2.0, 3.0])
+        arr = app.build_array(1)
+        assert [c.work(0) for c in arr] == [1.0, 2.0, 3.0]
+
+    def test_callable_works(self):
+        app = SyntheticApp(lambda i, it: float(i + it), num_chares=3)
+        arr = app.build_array(1)
+        assert arr[2].work(5) == 7.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticApp([])
+        with pytest.raises(ValueError):
+            SyntheticApp(lambda i, it: 1.0)  # no num_chares
+        with pytest.raises(ValueError):
+            SyntheticApp([1.0], num_chares=5)
+        with pytest.raises(ValueError):
+            SyntheticApp([-1.0])

@@ -1,0 +1,73 @@
+"""Numerical validation of the MD kernels."""
+
+import numpy as np
+import pytest
+
+from repro.apps.md_kernels import lj_forces, lj_potential, velocity_verlet
+
+
+def test_forces_obey_newtons_third_law():
+    rng = np.random.default_rng(0)
+    pos = rng.uniform(0, 5, (8, 3))
+    f = lj_forces(pos)
+    np.testing.assert_allclose(f.sum(axis=0), 0.0, atol=1e-9)
+
+
+def test_two_particles_at_minimum_have_zero_force():
+    r_min = 2.0 ** (1.0 / 6.0)  # LJ potential minimum
+    pos = np.array([[0.0, 0.0, 0.0], [r_min, 0.0, 0.0]])
+    f = lj_forces(pos)
+    np.testing.assert_allclose(f, 0.0, atol=1e-12)
+
+
+def test_close_particles_repel():
+    pos = np.array([[0.0, 0.0, 0.0], [0.9, 0.0, 0.0]])
+    f = lj_forces(pos)
+    assert f[0, 0] < 0.0  # pushed apart
+    assert f[1, 0] > 0.0
+
+
+def test_far_particles_attract():
+    pos = np.array([[0.0, 0.0, 0.0], [2.0, 0.0, 0.0]])
+    f = lj_forces(pos)
+    assert f[0, 0] > 0.0  # pulled together
+    assert f[1, 0] < 0.0
+
+
+def test_potential_minimum_value():
+    r_min = 2.0 ** (1.0 / 6.0)
+    pos = np.array([[0.0, 0.0, 0.0], [r_min, 0.0, 0.0]])
+    assert lj_potential(pos) == pytest.approx(-1.0)
+
+
+def test_single_particle_edge_cases():
+    pos = np.zeros((1, 3))
+    assert np.all(lj_forces(pos) == 0.0)
+    assert lj_potential(pos) == 0.0
+
+
+def test_verlet_conserves_energy_short_term():
+    rng = np.random.default_rng(1)
+    n = 6
+    # well-separated lattice, small dt
+    pos = np.array(
+        [[i * 1.5, j * 1.5, 0.0] for i in range(3) for j in range(2)], dtype=float
+    )
+    vel = rng.normal(0, 0.05, (n, 3))
+    def energy(p, v):
+        return lj_potential(p) + 0.5 * np.sum(v * v)
+
+    e0 = energy(pos, vel)
+    for _ in range(100):
+        pos, vel = velocity_verlet(pos, vel, dt=1e-3)
+    drift = abs(energy(pos, vel) - e0) / max(abs(e0), 1e-12)
+    assert drift < 1e-3
+
+
+def test_verlet_validation():
+    pos = np.zeros((2, 3))
+    vel = np.zeros((2, 3))
+    with pytest.raises(ValueError):
+        velocity_verlet(pos, vel, dt=0.0)
+    with pytest.raises(ValueError):
+        lj_forces(np.zeros((3, 2)))

@@ -1,0 +1,87 @@
+"""Unit tests for scripted interference."""
+
+import pytest
+
+from repro.cluster import Cluster, Interferer, InterferencePhase, PhasedInterference
+from repro.sim import SimProcess, SimulationEngine
+
+
+def test_interferer_consumes_cpu_in_window():
+    eng = SimulationEngine()
+    cl = Cluster(eng, num_nodes=1, cores_per_node=1)
+    intf = Interferer(eng, cl.core(0), start=1.0, end=3.0)
+    eng.run(until=5.0)
+    assert intf.cpu_consumed == pytest.approx(2.0)
+    core = cl.core(0)
+    core.sync()
+    assert core.busy_time == pytest.approx(2.0)
+    assert core.idle_time == pytest.approx(3.0)
+
+
+def test_interferer_halves_app_throughput():
+    eng = SimulationEngine()
+    cl = Cluster(eng, num_nodes=1, cores_per_node=1)
+    Interferer(eng, cl.core(0), start=0.0)
+    app = SimProcess("work", 2.0, owner="app")
+    cl.core(0).dispatch(app)
+    eng.run(until=10.0)
+    assert app.completed_at == pytest.approx(4.0)  # 2 CPU-s at 50%
+
+
+def test_weighted_interferer_starves_app():
+    eng = SimulationEngine()
+    cl = Cluster(eng, num_nodes=1, cores_per_node=1)
+    Interferer(eng, cl.core(0), start=0.0, weight=4.0)
+    app = SimProcess("work", 1.0, owner="app")
+    cl.core(0).dispatch(app)
+    eng.run(until=20.0)
+    assert app.completed_at == pytest.approx(5.0)  # 20% share
+
+
+def test_interferer_releases_core_at_end():
+    eng = SimulationEngine()
+    cl = Cluster(eng, num_nodes=1, cores_per_node=1)
+    Interferer(eng, cl.core(0), start=0.0, end=1.0)
+    app = SimProcess("work", 2.0, owner="app")
+    cl.core(0).dispatch(app)
+    eng.run(until=10.0)
+    # 0.5 CPU-s by t=1 (shared), remaining 1.5 alone -> t=2.5
+    assert app.completed_at == pytest.approx(2.5)
+
+
+def test_interferer_end_before_start_rejected():
+    eng = SimulationEngine()
+    cl = Cluster(eng, num_nodes=1, cores_per_node=1)
+    with pytest.raises(ValueError):
+        Interferer(eng, cl.core(0), start=2.0, end=1.0)
+
+
+def test_phased_interference_moves_between_cores():
+    eng = SimulationEngine()
+    cl = Cluster(eng, num_nodes=1, cores_per_node=4)
+    phases = [
+        InterferencePhase(core_id=1, start=0.0, end=2.0),
+        InterferencePhase(core_id=3, start=4.0, end=6.0),
+    ]
+    pi = PhasedInterference(eng, cl.cores, phases)
+    eng.run(until=10.0)
+    assert pi.interferers[0].cpu_consumed == pytest.approx(2.0)
+    assert pi.interferers[1].cpu_consumed == pytest.approx(2.0)
+    c1, c3 = cl.core(1), cl.core(3)
+    c1.sync(), c3.sync()
+    assert c1.busy_time == pytest.approx(2.0)
+    assert c3.busy_time == pytest.approx(2.0)
+
+
+def test_phase_on_unknown_core_rejected():
+    eng = SimulationEngine()
+    cl = Cluster(eng, num_nodes=1, cores_per_node=2)
+    with pytest.raises(ValueError):
+        PhasedInterference(eng, cl.cores, [InterferencePhase(core_id=9, start=0.0)])
+
+
+def test_phase_validation():
+    with pytest.raises(ValueError):
+        InterferencePhase(core_id=0, start=5.0, end=1.0)
+    with pytest.raises(ValueError):
+        InterferencePhase(core_id=0, start=0.0, weight=0.0)

@@ -1,0 +1,63 @@
+"""Unit tests for cluster topology and lookups."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.sim import SimulationEngine
+
+
+def test_default_shape_is_paper_testbed():
+    cl = Cluster(SimulationEngine())
+    assert cl.num_nodes == 8
+    assert cl.cores_per_node == 4
+    assert cl.num_cores == 32
+    assert len(cl.cores) == 32
+    assert len(cl.nodes) == 8
+
+
+def test_core_ids_are_global_and_ordered():
+    cl = Cluster(SimulationEngine(), num_nodes=2, cores_per_node=3)
+    assert [c.core_id for c in cl.cores] == list(range(6))
+    assert cl.nodes[0].core_ids == [0, 1, 2]
+    assert cl.nodes[1].core_ids == [3, 4, 5]
+
+
+def test_node_of():
+    cl = Cluster(SimulationEngine(), num_nodes=2, cores_per_node=4)
+    assert cl.node_of(0).node_id == 0
+    assert cl.node_of(3).node_id == 0
+    assert cl.node_of(4).node_id == 1
+    assert cl.node_of(7).node_id == 1
+
+
+def test_core_out_of_range():
+    cl = Cluster(SimulationEngine(), num_nodes=1, cores_per_node=2)
+    with pytest.raises(IndexError):
+        cl.core(2)
+    with pytest.raises(IndexError):
+        cl.node_of(-1)
+
+
+def test_nodes_for_deduplicates():
+    cl = Cluster(SimulationEngine(), num_nodes=3, cores_per_node=2)
+    nodes = cl.nodes_for([0, 1, 4])
+    assert [n.node_id for n in nodes] == [0, 2]
+
+
+def test_invalid_shape_rejected():
+    with pytest.raises(ValueError):
+        Cluster(SimulationEngine(), num_nodes=0)
+    with pytest.raises(ValueError):
+        Cluster(SimulationEngine(), cores_per_node=0)
+
+
+def test_procstat_view_subset():
+    cl = Cluster(SimulationEngine(), num_nodes=1, cores_per_node=4)
+    stat = cl.procstat("app", core_ids=[1, 2])
+    assert list(stat.core_ids()) == [1, 2]
+
+
+def test_procstat_defaults_to_all_cores():
+    cl = Cluster(SimulationEngine(), num_nodes=2, cores_per_node=2)
+    stat = cl.procstat("app")
+    assert list(stat.core_ids()) == [0, 1, 2, 3]

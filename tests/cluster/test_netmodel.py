@@ -1,0 +1,41 @@
+"""Unit tests for the network cost model."""
+
+import pytest
+
+from repro.cluster import NetworkModel
+
+
+def test_message_time_components():
+    net = NetworkModel(latency_s=1e-3, bandwidth_Bps=1e6, per_message_overhead_s=1e-4)
+    assert net.message_time(0) == pytest.approx(1.1e-3)
+    assert net.message_time(1e6) == pytest.approx(1.1e-3 + 1.0)
+
+
+def test_virtualized_is_slower_than_native():
+    native = NetworkModel.native()
+    cloud = NetworkModel.virtualized()
+    for size in (0, 1024, 1 << 20):
+        assert cloud.message_time(size) > native.message_time(size)
+
+
+def test_zero_network_is_free():
+    net = NetworkModel.zero()
+    assert net.message_time(1 << 30) == pytest.approx(0.0, abs=1e-6)
+
+
+def test_migration_time_exceeds_message_time():
+    net = NetworkModel.native()
+    assert net.migration_time(4096) > net.message_time(4096)
+
+
+def test_negative_bytes_rejected():
+    net = NetworkModel.native()
+    with pytest.raises(ValueError):
+        net.message_time(-1)
+
+
+def test_invalid_model_rejected():
+    with pytest.raises(ValueError):
+        NetworkModel(latency_s=-1.0)
+    with pytest.raises(ValueError):
+        NetworkModel(bandwidth_Bps=0.0)

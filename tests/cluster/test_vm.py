@@ -1,0 +1,44 @@
+"""Unit tests for VM descriptors and co-location detection."""
+
+import pytest
+
+from repro.cluster import VirtualMachine, colocated_cores
+
+
+def test_vm_basic():
+    vm = VirtualMachine("hpc", core_ids=(0, 1, 2, 3))
+    assert vm.vcpus == 4
+    assert vm.weight == 1.0
+
+
+def test_duplicate_pin_rejected():
+    with pytest.raises(ValueError):
+        VirtualMachine("bad", core_ids=(0, 0))
+
+
+def test_nonpositive_weight_rejected():
+    with pytest.raises(ValueError):
+        VirtualMachine("bad", core_ids=(0,), weight=0.0)
+
+
+def test_colocated_cores_finds_shared():
+    app = VirtualMachine("app", core_ids=(0, 1, 2, 3))
+    bg = VirtualMachine("bg", core_ids=(3,))
+    shared = colocated_cores([app, bg])
+    assert shared == {3: ["app", "bg"]}
+
+
+def test_colocated_cores_empty_when_disjoint():
+    a = VirtualMachine("a", core_ids=(0, 1))
+    b = VirtualMachine("b", core_ids=(2, 3))
+    assert colocated_cores([a, b]) == {}
+
+
+def test_three_way_colocation():
+    vms = [
+        VirtualMachine("a", core_ids=(5,)),
+        VirtualMachine("b", core_ids=(5,)),
+        VirtualMachine("c", core_ids=(5, 6)),
+    ]
+    shared = colocated_cores(vms)
+    assert shared == {5: ["a", "b", "c"]}

@@ -1,0 +1,104 @@
+"""Tests for the adaptive (imbalance-triggered) LB policy."""
+
+import pytest
+
+from repro.apps import SyntheticApp
+from repro.cluster import Cluster, Interferer, NetworkModel
+from repro.core import AdaptiveLBPolicy, LBPolicy, RefineVMInterferenceLB
+from repro.sim import SimulationEngine
+
+
+class TestPolicyLogic:
+    def test_triggers_on_imbalance(self):
+        pol = AdaptiveLBPolicy(
+            period_iterations=100, imbalance_threshold=1.25, min_gap_iterations=1
+        )
+        assert pol.due(3, 50, imbalance=1.5, since_last_lb=3)
+        assert not pol.due(3, 50, imbalance=1.1, since_last_lb=3)
+
+    def test_min_gap_suppresses_bursts(self):
+        pol = AdaptiveLBPolicy(period_iterations=100, min_gap_iterations=4)
+        assert not pol.due(5, 50, imbalance=2.0, since_last_lb=2)
+        assert pol.due(5, 50, imbalance=2.0, since_last_lb=4)
+
+    def test_periodic_fallback_heartbeat(self):
+        pol = AdaptiveLBPolicy(period_iterations=10, imbalance_threshold=5.0)
+        assert pol.due(10, 50, imbalance=1.0, since_last_lb=10)
+        assert not pol.due(9, 50, imbalance=1.0, since_last_lb=9)
+
+    def test_never_after_final_iteration(self):
+        pol = AdaptiveLBPolicy(period_iterations=5)
+        assert not pol.due(20, 20, imbalance=3.0, since_last_lb=20)
+
+    def test_skip_first_respected(self):
+        pol = AdaptiveLBPolicy(period_iterations=5, skip_first=3)
+        assert not pol.due(2, 50, imbalance=3.0, since_last_lb=2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveLBPolicy(imbalance_threshold=0.5)
+        with pytest.raises(ValueError):
+            AdaptiveLBPolicy(min_gap_iterations=0)
+
+    def test_base_policy_ignores_imbalance(self):
+        pol = LBPolicy(period_iterations=5)
+        assert not pol.due(3, 50, imbalance=10.0, since_last_lb=3)
+
+
+class TestRuntimeIntegration:
+    def _run(self, policy, hog_at_iteration=10, iterations=40):
+        eng = SimulationEngine()
+        cl = Cluster(eng, num_nodes=1, cores_per_node=4)
+        app = SyntheticApp([0.02] * 16, state_bytes=128.0)
+        rt = app.instantiate(
+            eng,
+            cl,
+            [0, 1, 2, 3],
+            net=NetworkModel.zero(),
+            balancer=RefineVMInterferenceLB(0.05),
+            policy=policy,
+        )
+        hog = Interferer(eng, cl.core(0), start=None)
+        rt.on_iteration(
+            lambda r, it: hog.activate() if it == hog_at_iteration - 1 else None
+        )
+        rt.start(iterations)
+        eng.run(until=1e6)
+        return rt
+
+    def test_imbalance_signal_tracks_interference(self):
+        rt = self._run(LBPolicy(period_iterations=1000))  # effectively noLB
+        # before the hog: balanced (each core 4 x 0.02)
+        assert rt.iteration_imbalance[5] == pytest.approx(1.0, abs=0.05)
+        # after: the interfered core's wall share doubles -> ratio ~1.6
+        assert rt.iteration_imbalance[-2] > 1.4
+
+    def test_adaptive_reacts_faster_than_slow_periodic(self):
+        slow = self._run(
+            LBPolicy(period_iterations=25, decision_overhead_s=0.0)
+        )
+        adaptive = self._run(
+            AdaptiveLBPolicy(
+                period_iterations=25,
+                imbalance_threshold=1.25,
+                min_gap_iterations=2,
+                decision_overhead_s=0.0,
+            )
+        )
+        assert adaptive.finished_at < slow.finished_at
+        # and it reacted within a couple of iterations of the disturbance
+        post_hog = adaptive.iteration_imbalance[10:16]
+        assert min(post_hog) < 1.25  # balance restored quickly
+
+    def test_adaptive_idles_when_balanced(self):
+        rt = self._run(
+            AdaptiveLBPolicy(
+                period_iterations=15,
+                imbalance_threshold=1.25,
+                decision_overhead_s=0.0,
+            ),
+            hog_at_iteration=10_000,  # never
+            iterations=30,
+        )
+        # only the heartbeat steps fire (after iterations 15 and 30->no)
+        assert rt.lb_step_count <= 2

@@ -1,0 +1,145 @@
+"""Unit tests for NoLB / GreedyLB / MigrationCostAwareLB / policies / metrics."""
+
+import pytest
+
+from repro.cluster import NetworkModel
+from repro.core import (
+    GreedyLB,
+    LBPolicy,
+    Migration,
+    MigrationCostAwareLB,
+    NoLB,
+    RefineVMInterferenceLB,
+    imbalance_ratio,
+    max_load,
+    migration_volume_bytes,
+    within_epsilon,
+)
+from tests.core.test_interference_lb import apply, view_from
+
+
+def test_nolb_never_moves():
+    view = view_from([[5.0] * 4, []], bg_loads=[4.0, 0.0])
+    assert NoLB().balance(view) == []
+
+
+class TestGreedyLB:
+    def test_balances_internal_imbalance(self):
+        view = view_from([[1.0] * 4, []])
+        load = apply(view, GreedyLB().balance(view))
+        assert load[0] == pytest.approx(2.0)
+        assert load[1] == pytest.approx(2.0)
+
+    def test_unaware_ignores_bg(self):
+        view = view_from([[1.0] * 2, [1.0] * 2], bg_loads=[4.0, 0.0])
+        load = apply(view, GreedyLB().balance(view))
+        # task times equalised (2/2) regardless of bg: core0 stays at 6 total
+        assert load[0] == pytest.approx(6.0)
+
+    def test_aware_seeds_with_bg(self):
+        view = view_from([[1.0] * 4, [1.0] * 4], bg_loads=[4.0, 0.0])
+        load = apply(view, GreedyLB(aware=True).balance(view))
+        assert load[0] == pytest.approx(6.0)
+        assert load[1] == pytest.approx(6.0)
+
+    def test_no_migrations_when_already_optimal(self):
+        view = view_from([[2.0], [2.0]])
+        assert GreedyLB().balance(view) == []
+
+
+class TestMigrationCostAware:
+    def _view(self, state_bytes):
+        from repro.core import CoreLoad, LBView, TaskRecord
+
+        cores = (
+            CoreLoad(
+                core_id=0,
+                tasks=tuple(
+                    TaskRecord(("a", i), cpu_time=1.0, state_bytes=state_bytes)
+                    for i in range(4)
+                ),
+            ),
+            CoreLoad(core_id=1, tasks=()),
+        )
+        return LBView(cores=cores, window=10.0)
+
+    def test_allows_cheap_beneficial_migrations(self):
+        view = self._view(state_bytes=1024.0)
+        lb = MigrationCostAwareLB(RefineVMInterferenceLB(0.05), NetworkModel.native())
+        assert lb.balance(view) != []
+        assert lb.suppressed_steps == 0
+
+    def test_suppresses_when_cost_dominates(self):
+        # gigantic chare state on a degraded network: gain (2s) < cost
+        view = self._view(state_bytes=1e9)
+        lb = MigrationCostAwareLB(
+            RefineVMInterferenceLB(0.05), NetworkModel.virtualized()
+        )
+        assert lb.balance(view) == []
+        assert lb.suppressed_steps == 1
+
+    def test_predicted_gain_is_max_load_drop(self):
+        view = self._view(state_bytes=0.0)
+        inner = RefineVMInterferenceLB(0.05)
+        migrations = inner.balance(view)
+        gain = MigrationCostAwareLB.predicted_gain(view, migrations)
+        assert gain == pytest.approx(2.0)  # 4.0 -> 2.0
+
+    def test_empty_decision_passthrough(self):
+        view = view_from([[1.0], [1.0]])
+        lb = MigrationCostAwareLB(NoLB(), NetworkModel.native())
+        assert lb.balance(view) == []
+
+    def test_safety_factor_validation(self):
+        with pytest.raises(ValueError):
+            MigrationCostAwareLB(NoLB(), NetworkModel.native(), safety_factor=0.0)
+
+
+class TestLBPolicy:
+    def test_periodic_schedule(self):
+        pol = LBPolicy(period_iterations=5)
+        due = [i for i in range(1, 21) if pol.due(i, total_iterations=20)]
+        assert due == [5, 10, 15]  # never after the last iteration
+
+    def test_skip_first(self):
+        pol = LBPolicy(period_iterations=5, skip_first=3)
+        due = [i for i in range(1, 20) if pol.due(i, total_iterations=50)]
+        assert due == [8, 13, 18]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LBPolicy(period_iterations=0)
+        with pytest.raises(ValueError):
+            LBPolicy(decision_overhead_s=-1.0)
+
+
+class TestMetrics:
+    def test_max_load_and_imbalance(self):
+        view = view_from([[3.0], [1.0]])
+        assert max_load(view) == pytest.approx(3.0)
+        assert imbalance_ratio(view) == pytest.approx(1.5)
+
+    def test_imbalance_of_empty_view_is_one(self):
+        from repro.core import LBView
+
+        assert imbalance_ratio(LBView(cores=(), window=0.0)) == 1.0
+
+    def test_within_epsilon(self):
+        view = view_from([[1.05], [0.95]])
+        assert within_epsilon(view, 0.10)
+        assert not within_epsilon(view, 0.01)
+        assert within_epsilon(view, 0.06, absolute=True)
+
+    def test_migration_volume(self):
+        from repro.core import CoreLoad, LBView, TaskRecord
+
+        cores = (
+            CoreLoad(
+                core_id=0,
+                tasks=(TaskRecord(("a", 0), 1.0, state_bytes=100.0),),
+            ),
+            CoreLoad(core_id=1, tasks=()),
+        )
+        view = LBView(cores=cores, window=1.0)
+        moves = [Migration(chare=("a", 0), src=0, dst=1)]
+        assert migration_volume_bytes(view, moves) == 100.0

@@ -1,0 +1,86 @@
+"""Unit tests for the communication-aware refinement strategy."""
+
+import pytest
+
+from repro.core import CommAwareRefineLB, CoreLoad, LBView, RefineVMInterferenceLB, TaskRecord
+from repro.core.database import validate_migrations
+
+
+def make_view():
+    """Core 0 overloaded with four equal tasks; cores 1 and 2 both light.
+
+    Task ("a", 0) talks heavily to ("a", 9) which lives on core 2; a
+    locality-blind balancer would send it to the least-loaded core 1.
+    """
+    cores = (
+        CoreLoad(
+            core_id=0,
+            tasks=(
+                TaskRecord(("a", 0), 2.0, comm=((("a", 9), 1e6),)),
+                TaskRecord(("a", 1), 2.0),
+                TaskRecord(("a", 2), 2.0),
+                TaskRecord(("a", 3), 2.0),
+            ),
+        ),
+        CoreLoad(core_id=1, tasks=(TaskRecord(("a", 5), 0.5),)),
+        CoreLoad(
+            core_id=2,
+            tasks=(
+                TaskRecord(("a", 9), 1.0, comm=((("a", 0), 1e6),)),
+            ),
+        ),
+    )
+    return LBView(cores=cores, window=20.0)
+
+
+def test_prefers_receiver_with_affinity():
+    view = make_view()
+    migrations = CommAwareRefineLB(0.05).balance(view)
+    validate_migrations(view, migrations)
+    moved = {m.chare: m.dst for m in migrations}
+    assert moved[("a", 0)] == 2  # lands next to its partner
+
+
+def test_base_algorithm_prefers_least_loaded():
+    view = make_view()
+    migrations = RefineVMInterferenceLB(0.05).balance(view)
+    moved = {m.chare: m.dst for m in migrations}
+    assert moved[("a", 0)] == 1  # locality-blind: least-loaded first
+
+
+def test_feasibility_still_respected():
+    # partner core is too loaded to accept: affinity must not override Eq. 3
+    cores = (
+        CoreLoad(
+            core_id=0,
+            tasks=(TaskRecord(("a", 0), 2.0, comm=((("a", 9), 1e6),)),
+                   TaskRecord(("a", 1), 2.0),
+                   TaskRecord(("a", 2), 2.0),
+                   TaskRecord(("a", 3), 2.0)),
+        ),
+        CoreLoad(core_id=1, tasks=()),
+        CoreLoad(core_id=2, tasks=(TaskRecord(("a", 9), 5.0),)),
+    )
+    view = LBView(cores=cores, window=20.0)
+    migrations = CommAwareRefineLB(0.05).balance(view)
+    for m in migrations:
+        assert m.dst != 2  # core 2 would become overloaded
+
+
+def test_without_comm_data_matches_base():
+    cores = (
+        CoreLoad(
+            core_id=0,
+            tasks=tuple(TaskRecord(("a", i), 2.0) for i in range(4)),
+        ),
+        CoreLoad(core_id=1, tasks=()),
+        CoreLoad(core_id=2, tasks=()),
+    )
+    view = LBView(cores=cores, window=10.0)
+    assert CommAwareRefineLB(0.05).balance(view) == RefineVMInterferenceLB(0.05).balance(view)
+
+
+def test_deterministic():
+    view = make_view()
+    lb = CommAwareRefineLB(0.05)
+    assert lb.balance(view) == lb.balance(view)

@@ -1,0 +1,46 @@
+"""Model-based hypothesis test for the MaxHeap against a reference dict."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.heaps import MaxHeap
+
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("push"), st.integers(0, 9), st.floats(0, 100, allow_nan=False)),
+        st.tuples(st.just("remove"), st.integers(0, 9), st.just(0.0)),
+        st.tuples(st.just("pop"), st.just(0), st.just(0.0)),
+    ),
+    max_size=60,
+)
+
+
+@given(ops)
+@settings(max_examples=300, deadline=None)
+def test_maxheap_matches_reference_model(operations):
+    heap: MaxHeap = MaxHeap()
+    model = {}
+    for op, item, priority in operations:
+        if op == "push":
+            heap.push(item, priority)
+            model[item] = priority
+        elif op == "remove":
+            heap.remove(item)
+            model.pop(item, None)
+        else:  # pop
+            if model:
+                got_item, got_priority = heap.pop()
+                # must be a max item of the model
+                assert got_priority == max(model.values())
+                assert model[got_item] == got_priority
+                del model[got_item]
+            else:
+                try:
+                    heap.pop()
+                    raised = False
+                except IndexError:
+                    raised = True
+                assert raised
+        assert len(heap) == len(model)
+        for k, v in model.items():
+            assert heap.priority(k) == v

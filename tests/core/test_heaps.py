@@ -1,0 +1,76 @@
+"""Unit tests for the MaxHeap used by Algorithm 1."""
+
+import pytest
+
+from repro.core.heaps import MaxHeap
+
+
+def test_pop_order_is_descending():
+    h = MaxHeap()
+    for item, pr in [("a", 1.0), ("b", 3.0), ("c", 2.0)]:
+        h.push(item, pr)
+    assert h.pop() == ("b", 3.0)
+    assert h.pop() == ("c", 2.0)
+    assert h.pop() == ("a", 1.0)
+
+
+def test_len_and_contains():
+    h = MaxHeap()
+    h.push("x", 1.0)
+    assert len(h) == 1
+    assert "x" in h
+    assert "y" not in h
+
+
+def test_reprioritise_replaces_old_entry():
+    h = MaxHeap()
+    h.push("a", 1.0)
+    h.push("b", 2.0)
+    h.push("a", 5.0)  # update
+    assert len(h) == 2
+    assert h.pop() == ("a", 5.0)
+    assert h.pop() == ("b", 2.0)
+
+
+def test_remove_is_lazy_but_effective():
+    h = MaxHeap()
+    h.push("a", 3.0)
+    h.push("b", 1.0)
+    h.remove("a")
+    assert "a" not in h
+    assert h.pop() == ("b", 1.0)
+    with pytest.raises(IndexError):
+        h.pop()
+
+
+def test_remove_absent_is_noop():
+    h = MaxHeap()
+    h.remove("ghost")
+    assert len(h) == 0
+
+
+def test_priority_query():
+    h = MaxHeap()
+    h.push("a", 2.5)
+    assert h.priority("a") == 2.5
+    assert h.priority("b") is None
+
+
+def test_peek_does_not_remove():
+    h = MaxHeap()
+    h.push("a", 1.0)
+    assert h.peek() == ("a", 1.0)
+    assert len(h) == 1
+
+
+def test_peek_empty_raises():
+    with pytest.raises(IndexError):
+        MaxHeap().peek()
+
+
+def test_fifo_among_ties():
+    h = MaxHeap()
+    h.push("first", 1.0)
+    h.push("second", 1.0)
+    assert h.pop()[0] == "first"
+    assert h.pop()[0] == "second"

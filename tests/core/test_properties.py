@@ -1,0 +1,134 @@
+"""Hypothesis property tests on Algorithm 1's invariants.
+
+These cover the guarantees the paper's scheme rests on:
+
+1. migrations are always valid (source correct, chares exist, no core
+   outside the job);
+2. receivers never end above ``T_avg + ε`` (the Eq. 3 constraint the
+   pseudocode enforces at line 12);
+3. task conservation — no chare is lost or duplicated;
+4. the algorithm terminates and is deterministic for arbitrary views;
+5. total load is invariant under migration.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    CoreLoad,
+    GreedyLB,
+    LBView,
+    RefineVMInterferenceLB,
+    TaskRecord,
+)
+from repro.core.database import validate_migrations
+
+task_times = st.floats(min_value=0.0, max_value=10.0, allow_nan=False)
+bg_loads = st.floats(min_value=0.0, max_value=20.0, allow_nan=False)
+
+
+@st.composite
+def lb_views(draw):
+    n_cores = draw(st.integers(min_value=1, max_value=8))
+    cores = []
+    for cid in range(n_cores):
+        times = draw(st.lists(task_times, min_size=0, max_size=6))
+        tasks = tuple(
+            TaskRecord(chare=(f"arr{cid}", i), cpu_time=t, state_bytes=64.0)
+            for i, t in enumerate(times)
+        )
+        bg = draw(bg_loads)
+        cores.append(CoreLoad(core_id=cid, tasks=tasks, bg_load=bg))
+    return LBView(cores=tuple(cores), window=100.0)
+
+
+def final_loads(view, migrations, *, include_bg=True):
+    load = {
+        c.core_id: c.task_time + (c.bg_load if include_bg else 0.0)
+        for c in view.cores
+    }
+    t = {tr.chare: tr.cpu_time for c in view.cores for tr in c.tasks}
+    for m in migrations:
+        load[m.src] -= t[m.chare]
+        load[m.dst] += t[m.chare]
+    return load
+
+
+@given(lb_views(), st.floats(min_value=0.01, max_value=0.5))
+@settings(max_examples=200, deadline=None)
+def test_algorithm1_migrations_are_valid(view, eps):
+    lb = RefineVMInterferenceLB(eps)
+    migrations = lb.decide(view)
+    validate_migrations(view, migrations)  # raises on violation
+
+
+@given(lb_views(), st.floats(min_value=0.01, max_value=0.5))
+@settings(max_examples=200, deadline=None)
+def test_algorithm1_receivers_stay_below_threshold(view, eps):
+    lb = RefineVMInterferenceLB(eps)
+    migrations = lb.decide(view)
+    t_avg = view.t_avg
+    loads = final_loads(view, migrations)
+    for m in migrations:
+        pass
+    receivers = {m.dst for m in migrations}
+    for cid in receivers:
+        assert loads[cid] - t_avg <= eps * t_avg + 1e-9
+
+
+@given(lb_views(), st.floats(min_value=0.01, max_value=0.5))
+@settings(max_examples=200, deadline=None)
+def test_algorithm1_conserves_tasks_and_load(view, eps):
+    lb = RefineVMInterferenceLB(eps)
+    migrations = lb.decide(view)
+    before = {tr.chare for c in view.cores for tr in c.tasks}
+    mapping = view.task_map()
+    for m in migrations:
+        mapping[m.chare] = m.dst
+    assert set(mapping) == before  # no chare lost or invented
+    total_before = sum(c.total_load for c in view.cores)
+    total_after = sum(final_loads(view, migrations).values())
+    assert abs(total_before - total_after) < 1e-6
+
+
+@given(lb_views())
+@settings(max_examples=100, deadline=None)
+def test_algorithm1_is_deterministic(view):
+    lb = RefineVMInterferenceLB(0.05)
+    assert lb.decide(view) == lb.decide(view)
+
+
+@given(lb_views(), st.floats(min_value=0.01, max_value=0.5))
+@settings(max_examples=200, deadline=None)
+def test_algorithm1_never_worsens_max_load(view, eps):
+    lb = RefineVMInterferenceLB(eps)
+    migrations = lb.decide(view)
+    before = max((c.total_load for c in view.cores), default=0.0)
+    after = max(final_loads(view, migrations).values(), default=0.0)
+    assert after <= before + 1e-9
+
+
+@given(lb_views())
+@settings(max_examples=100, deadline=None)
+def test_greedy_migrations_are_valid(view):
+    migrations = GreedyLB().decide(view)
+    validate_migrations(view, migrations)
+
+
+@given(lb_views())
+@settings(max_examples=100, deadline=None)
+def test_greedy_aware_respects_list_scheduling_bound(view):
+    """LPT with seed loads: makespan <= max(max seed, avg + biggest task).
+
+    (Greedy cannot promise strict improvement over an arbitrary starting
+    mapping — tasks are indivisible — but list scheduling guarantees this
+    classical bound, which is what makes it a usable baseline.)
+    """
+    lb = GreedyLB(aware=True)
+    migrations = lb.decide(view)
+    after = max(final_loads(view, migrations).values(), default=0.0)
+    max_seed = max((c.bg_load for c in view.cores), default=0.0)
+    biggest = max(
+        (t.cpu_time for c in view.cores for t in c.tasks), default=0.0
+    )
+    assert after <= max(max_seed, view.t_avg + biggest) + 1e-9

@@ -1,0 +1,109 @@
+"""Tests for LBView / migration JSON serialisation."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core import Migration, RefineVMInterferenceLB
+from repro.core.serialize import (
+    dump_view,
+    load_view,
+    migrations_from_dict,
+    migrations_to_dict,
+    view_from_dict,
+    view_to_dict,
+)
+from tests.core.test_properties import lb_views
+
+
+def test_round_trip_preserves_view(tmp_path):
+    from repro.core import CoreLoad, LBView, TaskRecord
+
+    view = LBView(
+        cores=(
+            CoreLoad(
+                core_id=0,
+                tasks=(
+                    TaskRecord(
+                        ("grid", 3),
+                        cpu_time=1.5,
+                        state_bytes=512.0,
+                        comm=((("grid", 4), 100.0),),
+                    ),
+                ),
+                bg_load=0.7,
+            ),
+            CoreLoad(core_id=1, tasks=()),
+        ),
+        window=10.0,
+    )
+    path = tmp_path / "view.json"
+    dump_view(view, str(path))
+    loaded = load_view(str(path))
+    assert loaded == view
+
+
+@given(lb_views())
+@settings(max_examples=100, deadline=None)
+def test_round_trip_property(view):
+    assert view_from_dict(view_to_dict(view)) == view
+
+
+@given(lb_views())
+@settings(max_examples=50, deadline=None)
+def test_replay_gives_identical_decisions(view):
+    """The raison d'être: offline replay reproduces the online decision."""
+    lb = RefineVMInterferenceLB(0.05)
+    online = lb.balance(view)
+    replayed = lb.balance(view_from_dict(view_to_dict(view)))
+    assert online == replayed
+
+
+def test_json_is_actually_json(tmp_path):
+    from tests.core.test_interference_lb import view_from
+
+    view = view_from([[1.0, 2.0], [0.5]], bg_loads=[3.0, 0.0])
+    path = tmp_path / "v.json"
+    dump_view(view, str(path))
+    data = json.loads(path.read_text())
+    assert data["format"] == 1
+    assert len(data["cores"]) == 2
+
+
+def test_migration_round_trip():
+    ms = [
+        Migration(chare=("a", 0), src=0, dst=1),
+        Migration(chare=("b", 7), src=2, dst=0),
+    ]
+    assert migrations_from_dict(migrations_to_dict(ms)) == ms
+
+
+def test_bad_format_rejected():
+    with pytest.raises(ValueError):
+        view_from_dict({"format": 99, "window": 1.0, "cores": []})
+
+
+def test_malformed_key_rejected():
+    data = {
+        "format": 1,
+        "window": 1.0,
+        "cores": [
+            {"core_id": 0, "bg_load": 0.0,
+             "tasks": [{"chare": [1, 2], "cpu_time": 1.0}]}
+        ],
+    }
+    with pytest.raises(ValueError):
+        view_from_dict(data)
+
+
+def test_corrupt_values_fail_dataclass_validation():
+    data = {
+        "format": 1,
+        "window": 1.0,
+        "cores": [
+            {"core_id": 0, "bg_load": -5.0, "tasks": []}
+        ],
+    }
+    with pytest.raises(ValueError):
+        view_from_dict(data)

@@ -1,0 +1,106 @@
+"""Unit tests for the power meter."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster
+from repro.power import PowerMeter, PowerModel
+from repro.sim import SimProcess, SimulationEngine
+
+
+def test_idle_cluster_draws_base_power():
+    eng = SimulationEngine()
+    cl = Cluster(eng, num_nodes=2, cores_per_node=4)
+    meter = PowerMeter(cl)
+    eng.run(until=10.0)
+    reading = meter.reading()
+    assert reading.energy_j == pytest.approx(2 * 40.0 * 10.0)
+    assert reading.average_power_w == pytest.approx(80.0)
+
+
+def test_busy_core_adds_dynamic_power():
+    eng = SimulationEngine()
+    cl = Cluster(eng, num_nodes=1, cores_per_node=4)
+    meter = PowerMeter(cl)
+    cl.core(0).dispatch(SimProcess("w", 10.0))
+    eng.run(until=10.0)
+    reading = meter.reading()
+    assert reading.busy_core_seconds == pytest.approx(10.0)
+    assert reading.average_power_w == pytest.approx(40.0 + 32.5)
+
+
+def test_window_subtraction():
+    eng = SimulationEngine()
+    cl = Cluster(eng, num_nodes=1, cores_per_node=4)
+    meter = PowerMeter(cl)
+    eng.run(until=5.0)
+    mark = meter.reading()
+    cl.core(0).dispatch(SimProcess("w", 5.0))
+    eng.run(until=10.0)
+    window = meter.reading() - mark
+    assert window.time == pytest.approx(5.0)
+    assert window.average_power_w == pytest.approx(72.5)
+
+
+def test_subtracting_newer_reading_raises():
+    eng = SimulationEngine()
+    cl = Cluster(eng, num_nodes=1, cores_per_node=4)
+    meter = PowerMeter(cl)
+    a = meter.reading()
+    eng.run(until=1.0)
+    b = meter.reading()
+    with pytest.raises(ValueError):
+        a - b
+
+
+def test_metering_node_subset():
+    eng = SimulationEngine()
+    cl = Cluster(eng, num_nodes=4, cores_per_node=4)
+    meter = PowerMeter(cl, nodes=cl.nodes[:1])
+    eng.run(until=10.0)
+    assert meter.reading().average_power_w == pytest.approx(40.0)
+
+
+def test_mismatched_model_shape_rejected():
+    eng = SimulationEngine()
+    cl = Cluster(eng, num_nodes=1, cores_per_node=4)
+    with pytest.raises(ValueError):
+        PowerMeter(cl, model=PowerModel(cores_per_node=8))
+
+
+def test_power_series_reconstruction():
+    eng = SimulationEngine()
+    cl = Cluster(eng, num_nodes=1, cores_per_node=2, record_intervals=True)
+    meter = PowerMeter(cl, model=PowerModel(cores_per_node=2))
+    cl.core(0).dispatch(SimProcess("w", 2.0))
+    eng.run(until=4.0)
+    cl.finalize_intervals()
+    series = meter.power_series(t_end=4.0, dt=1.0)
+    dyn = PowerModel(cores_per_node=2).dynamic_per_core_w
+    assert series.shape == (4,)
+    assert series[0] == pytest.approx(40.0 + dyn)
+    assert series[1] == pytest.approx(40.0 + dyn)
+    assert series[2] == pytest.approx(40.0)
+    assert series[3] == pytest.approx(40.0)
+
+
+def test_power_series_requires_recording():
+    eng = SimulationEngine()
+    cl = Cluster(eng, num_nodes=1, cores_per_node=2)
+    meter = PowerMeter(cl, model=PowerModel(cores_per_node=2))
+    eng.run(until=1.0)
+    with pytest.raises(RuntimeError):
+        meter.power_series(t_end=1.0)
+
+
+def test_series_energy_matches_exact_integral():
+    eng = SimulationEngine()
+    cl = Cluster(eng, num_nodes=1, cores_per_node=4, record_intervals=True)
+    meter = PowerMeter(cl)
+    cl.core(0).dispatch(SimProcess("a", 3.3))
+    cl.core(2).dispatch(SimProcess("b", 1.7))
+    eng.run(until=5.0)
+    cl.finalize_intervals()
+    series = meter.power_series(t_end=5.0, dt=0.5)
+    series_energy = float(np.sum(series) * 0.5)
+    assert series_energy == pytest.approx(meter.reading().energy_j, rel=1e-9)

@@ -1,0 +1,49 @@
+"""Unit tests for the power model (paper testbed numbers)."""
+
+import pytest
+
+from repro.power import PowerModel
+
+
+def test_paper_defaults():
+    pm = PowerModel()
+    assert pm.base_w == 40.0
+    assert pm.peak_w == 170.0
+    assert pm.dynamic_per_core_w == pytest.approx(32.5)
+
+
+def test_node_power_endpoints():
+    pm = PowerModel()
+    assert pm.node_power(0) == pytest.approx(40.0)
+    assert pm.node_power(4) == pytest.approx(170.0)
+    assert pm.node_power(2) == pytest.approx(105.0)
+
+
+def test_node_power_range_check():
+    pm = PowerModel()
+    with pytest.raises(ValueError):
+        pm.node_power(5)
+    with pytest.raises(ValueError):
+        pm.node_power(-1)
+
+
+def test_energy_idle_only_base():
+    pm = PowerModel()
+    assert pm.energy(10.0, 0.0, nodes=2) == pytest.approx(800.0)
+
+
+def test_energy_full_load():
+    pm = PowerModel()
+    # 1 node, 10 s, all 4 cores busy the whole time
+    assert pm.energy(10.0, 40.0, nodes=1) == pytest.approx(1700.0)
+
+
+def test_energy_rejects_impossible_busy_time():
+    pm = PowerModel()
+    with pytest.raises(ValueError):
+        pm.energy(1.0, 10.0, nodes=1)
+
+
+def test_peak_below_base_rejected():
+    with pytest.raises(ValueError):
+        PowerModel(base_w=100.0, peak_w=50.0)

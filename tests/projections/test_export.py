@@ -1,0 +1,97 @@
+"""Tests for the Chrome trace_event exporter."""
+
+import json
+
+import pytest
+
+from repro.cluster import Cluster, NetworkModel
+from repro.core import LBPolicy, RefineVMInterferenceLB
+from repro.projections import to_trace_events, write_chrome_trace
+from repro.runtime import Chare, ChareArray, Runtime
+from repro.sim import SimulationEngine
+
+
+class FixedChare(Chare):
+    def __init__(self, index, cost=0.1):
+        super().__init__(index, state_bytes=64.0)
+        self.cost = cost
+
+    def work(self, iteration):
+        return self.cost
+
+
+def traced_run(balanced=False):
+    eng = SimulationEngine()
+    cl = Cluster(eng, num_nodes=1, cores_per_node=2)
+    rt = Runtime(
+        eng,
+        cl,
+        [0, 1],
+        net=NetworkModel.zero(),
+        tracing=True,
+        balancer=RefineVMInterferenceLB(0.05) if balanced else None,
+        policy=LBPolicy(period_iterations=2, decision_overhead_s=0.0),
+    )
+    # imbalanced initial mapping so the balancer migrates
+    arr = ChareArray("g", [FixedChare(i) for i in range(4)])
+    mapping = {("g", i): 0 for i in range(4)} if balanced else None
+    rt.register_array(arr, mapping=mapping)
+    rt.start(iterations=4)
+    eng.run()
+    return rt
+
+
+def test_events_have_required_fields():
+    rt = traced_run()
+    events = to_trace_events(rt.trace)
+    task_events = [e for e in events if e.get("cat") == "task"]
+    assert len(task_events) == 4 * 4  # 4 chares x 4 iterations
+    for e in task_events:
+        assert e["ph"] == "X"
+        assert e["dur"] >= 0
+        assert e["ts"] >= 0
+        assert "iteration" in e["args"]
+
+
+def test_metadata_names_cores_and_process():
+    rt = traced_run()
+    events = to_trace_events(rt.trace, job_name="myjob")
+    meta = [e for e in events if e["ph"] == "M"]
+    names = {e["args"]["name"] for e in meta}
+    assert "myjob" in names
+    assert "core 0" in names and "core 1" in names
+
+
+def test_migration_and_lb_events_present():
+    rt = traced_run(balanced=True)
+    events = to_trace_events(rt.trace)
+    assert any(e.get("cat") == "migration" for e in events)
+    assert any(e.get("cat") == "lb" for e in events)
+
+
+def test_timestamps_are_microseconds():
+    rt = traced_run()
+    events = to_trace_events(rt.trace)
+    last_task = max(
+        (e for e in events if e.get("cat") == "task"), key=lambda e: e["ts"]
+    )
+    # run lasts 4 x 0.2 s; in us that's 800000-ish, not 0.8
+    assert last_task["ts"] > 1000
+
+
+def test_write_chrome_trace_roundtrip(tmp_path):
+    rt = traced_run(balanced=True)
+    path = tmp_path / "trace.json"
+    n = write_chrome_trace(rt.trace, str(path), job_name="app")
+    data = json.loads(path.read_text())
+    assert len(data) == n
+    assert all("ph" in e for e in data)
+
+
+def test_multiple_jobs_get_distinct_pids(tmp_path):
+    rt1 = traced_run()
+    rt2 = traced_run()
+    path = tmp_path / "both.json"
+    write_chrome_trace(rt1.trace, str(path), extra=[rt2.trace])
+    data = json.loads(path.read_text())
+    assert {e["pid"] for e in data} == {1, 2}

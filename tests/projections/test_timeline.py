@@ -1,0 +1,125 @@
+"""Unit tests for timeline extraction, rendering and summaries."""
+
+import pytest
+
+from repro.cluster import Cluster, Interferer, NetworkModel
+from repro.projections import (
+    extract_timelines,
+    render_timelines,
+    summarize_utilization,
+)
+from repro.projections.timeline import Interval
+from repro.runtime import Chare, ChareArray, Runtime
+from repro.runtime.tracing import TaskEvent, TraceLog
+from repro.sim import SimulationEngine
+
+
+class FixedChare(Chare):
+    def __init__(self, index, cost=0.1):
+        super().__init__(index, state_bytes=64.0)
+        self.cost = cost
+
+    def work(self, iteration):
+        return self.cost
+
+
+def traced_run(num_cores=2, chares_per_core=2, iterations=3, interfere=None):
+    eng = SimulationEngine()
+    cl = Cluster(eng, num_nodes=1, cores_per_node=num_cores)
+    rt = Runtime(eng, cl, list(range(num_cores)), net=NetworkModel.zero(), tracing=True)
+    arr = ChareArray("g", [FixedChare(i) for i in range(num_cores * chares_per_core)])
+    rt.register_array(arr)
+    if interfere is not None:
+        Interferer(eng, cl.core(interfere), start=0.0)
+    rt.start(iterations=iterations)
+    eng.run(until=100.0)
+    return rt
+
+
+def test_interval_properties():
+    busy = Interval(0.0, 1.0, chare=("a", 0), iteration=0)
+    idle = Interval(1.0, 3.0)
+    assert busy.duration == 1.0 and not busy.is_idle
+    assert idle.duration == 2.0 and idle.is_idle
+
+
+def test_extract_covers_full_span_without_gaps():
+    rt = traced_run()
+    tls = extract_timelines(rt.trace, [0, 1])
+    for tl in tls.values():
+        for a, b in zip(tl.intervals, tl.intervals[1:]):
+            assert b.start == pytest.approx(a.end)
+
+
+def test_clean_run_cores_are_fully_busy():
+    rt = traced_run(num_cores=2, chares_per_core=2)
+    tls = extract_timelines(rt.trace, [0, 1])
+    assert tls[0].utilization == pytest.approx(1.0, abs=1e-6)
+    assert tls[1].utilization == pytest.approx(1.0, abs=1e-6)
+
+
+def test_interfered_run_shows_idle_on_clean_cores():
+    rt = traced_run(num_cores=2, interfere=1)
+    tls = extract_timelines(rt.trace, [0, 1])
+    # core 1 is stretched -> still fully busy from the app's perspective
+    # core 0 finishes early each iteration and idles at the barrier
+    assert tls[0].idle_time > 0.0
+    assert tls[0].utilization == pytest.approx(0.5, abs=0.05)
+    assert tls[1].utilization == pytest.approx(1.0, abs=1e-6)
+
+
+def test_iteration_window_selection():
+    rt = traced_run(iterations=4)
+    tls_all = extract_timelines(rt.trace, [0])
+    tls_one = extract_timelines(rt.trace, [0], iterations=(1, 1))
+    assert tls_one[0].busy_time < tls_all[0].busy_time
+    assert tls_one[0].busy_time == pytest.approx(0.2)  # 2 chares x 0.1
+
+
+def test_window_validation():
+    rt = traced_run()
+    with pytest.raises(ValueError):
+        extract_timelines(rt.trace, [0], t_start=1.0, iterations=(0, 0))
+    with pytest.raises(ValueError):
+        extract_timelines(rt.trace, [0], iterations=(7, 9))
+    with pytest.raises(ValueError):
+        extract_timelines(rt.trace, [0], t_start=2.0, t_end=1.0)
+
+
+def test_render_produces_row_per_core():
+    rt = traced_run(num_cores=2, interfere=1)
+    tls = extract_timelines(rt.trace, [0, 1])
+    text = render_timelines(tls, width=40)
+    lines = text.splitlines()
+    assert len(lines) == 3  # header + 2 cores
+    assert "core   0" in lines[1]
+    assert "." in lines[1]  # idle on the clean core
+    assert "." not in lines[2].split("|")[1]  # interfered core never idles
+
+
+def test_render_empty_input():
+    assert render_timelines({}) == ""
+
+
+def test_render_glyphs_are_stable_per_chare():
+    rt = traced_run(num_cores=1, chares_per_core=2, iterations=2)
+    tls = extract_timelines(rt.trace, [0])
+    text = render_timelines(tls, width=40, show_utilization=False)
+    bar = text.splitlines()[1].split("|")[1]
+    # two chares alternate: exactly two distinct glyphs
+    assert len(set(bar) - {" ", "."}) == 2
+
+
+def test_summary_identifies_idle_core():
+    rt = traced_run(num_cores=2, interfere=1)
+    summary = summarize_utilization(rt.trace, [0, 1])
+    assert summary.min_core == 0
+    assert summary.max_core == 1
+    assert 0.5 < summary.mean < 1.0
+    assert len(summary.iteration_durations) == 3
+
+
+def test_summary_iteration_window():
+    rt = traced_run(iterations=5)
+    summary = summarize_utilization(rt.trace, [0, 1], iterations=(1, 3))
+    assert len(summary.iteration_durations) == 3

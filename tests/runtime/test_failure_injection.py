@@ -1,0 +1,130 @@
+"""Failure injection: broken strategies and work models must fail loudly.
+
+A corrupted object mapping is the worst failure mode of an LB framework
+(Charm++ crashes deep in pup code); this suite verifies every class of
+invalid balancer decision is caught *at the LB step*, before it touches
+the mapping, and that pathological work models cannot poison the
+simulator's accounting.
+"""
+
+from typing import List
+
+import pytest
+
+from repro.cluster import Cluster, NetworkModel
+from repro.core import LBPolicy, LoadBalancer, Migration
+from repro.core.database import LBView
+from repro.runtime import Chare, ChareArray, Runtime
+from repro.sim import SimulationEngine
+
+
+class FixedChare(Chare):
+    def __init__(self, index, cost=0.05):
+        super().__init__(index, state_bytes=64.0)
+        self.cost = cost
+
+    def work(self, iteration):
+        return self.cost
+
+
+class EvilBalancer(LoadBalancer):
+    """Returns whatever migration list it was given."""
+
+    name = "evil"
+
+    def __init__(self, migrations: List[Migration]):
+        self.migrations = migrations
+
+    def decide(self, view: LBView) -> List[Migration]:
+        return list(self.migrations)
+
+
+def make_runtime(balancer):
+    eng = SimulationEngine()
+    cl = Cluster(eng, num_nodes=1, cores_per_node=2)
+    rt = Runtime(
+        eng,
+        cl,
+        [0, 1],
+        net=NetworkModel.zero(),
+        balancer=balancer,
+        policy=LBPolicy(period_iterations=1, decision_overhead_s=0.0),
+    )
+    rt.register_array(ChareArray("g", [FixedChare(i) for i in range(4)]))
+    return eng, rt
+
+
+@pytest.mark.parametrize(
+    "migration",
+    [
+        Migration(chare=("ghost", 9), src=0, dst=1),   # unknown chare
+        Migration(chare=("g", 0), src=1, dst=0),       # wrong source
+        Migration(chare=("g", 0), src=0, dst=7),       # core outside job
+    ],
+    ids=["unknown-chare", "wrong-source", "foreign-core"],
+)
+def test_invalid_migration_rejected_before_applying(migration):
+    eng, rt = make_runtime(EvilBalancer([migration]))
+    before = dict(rt.mapping)
+    rt.start(iterations=3)
+    with pytest.raises(ValueError):
+        eng.run()
+    assert rt.mapping == before  # mapping untouched
+    assert rt.migration_count == 0
+
+
+def test_duplicate_migration_rejected():
+    m = Migration(chare=("g", 0), src=0, dst=1)
+    eng, rt = make_runtime(EvilBalancer([m, m]))
+    rt.start(iterations=3)
+    with pytest.raises(ValueError):
+        eng.run()
+
+
+def test_self_migration_unconstructible():
+    with pytest.raises(ValueError):
+        Migration(chare=("g", 0), src=0, dst=0)
+
+
+class NegativeWorkChare(Chare):
+    def work(self, iteration):
+        return -1.0
+
+
+def test_negative_work_model_rejected():
+    eng = SimulationEngine()
+    cl = Cluster(eng, num_nodes=1, cores_per_node=1)
+    rt = Runtime(eng, cl, [0], net=NetworkModel.zero())
+    rt.register_array(ChareArray("g", [NegativeWorkChare(0)]))
+    rt.start(iterations=1)
+    with pytest.raises(ValueError):
+        eng.run()
+
+
+class NaNWorkChare(Chare):
+    def work(self, iteration):
+        return float("nan")
+
+
+def test_nan_work_model_rejected():
+    eng = SimulationEngine()
+    cl = Cluster(eng, num_nodes=1, cores_per_node=1)
+    rt = Runtime(eng, cl, [0], net=NetworkModel.zero())
+    rt.register_array(ChareArray("g", [NaNWorkChare(0)]))
+    rt.start(iterations=1)
+    with pytest.raises(ValueError):
+        eng.run()
+
+
+class ThrowingBalancer(LoadBalancer):
+    name = "throws"
+
+    def decide(self, view):
+        raise RuntimeError("strategy blew up")
+
+
+def test_strategy_exception_propagates():
+    eng, rt = make_runtime(ThrowingBalancer())
+    rt.start(iterations=3)
+    with pytest.raises(RuntimeError, match="strategy blew up"):
+        eng.run()

@@ -1,0 +1,72 @@
+"""Unit tests for reductions."""
+
+import pytest
+
+from repro.cluster import NetworkModel
+from repro.runtime import REDUCERS, Reduction
+
+
+def test_sum_reduction_delivers_to_client():
+    out = []
+    red = Reduction([("a", 0), ("a", 1)], REDUCERS["sum"], client=out.append)
+    red.contribute(("a", 0), 2.0)
+    assert not red.complete
+    assert red.pending == 1
+    red.contribute(("a", 1), 3.0)
+    assert red.complete
+    assert red.result == 5.0
+    assert out == [5.0]
+
+
+def test_reducer_by_name():
+    red = Reduction([("a", 0), ("a", 1)], "max")
+    red.contribute(("a", 0), 2.0)
+    red.contribute(("a", 1), 7.0)
+    assert red.result == 7.0
+
+
+def test_unknown_reducer_name():
+    with pytest.raises(ValueError):
+        Reduction([("a", 0)], "median")
+
+
+def test_double_contribution_rejected():
+    red = Reduction([("a", 0), ("a", 1)])
+    red.contribute(("a", 0), 1.0)
+    with pytest.raises(ValueError):
+        red.contribute(("a", 0), 1.0)
+
+
+def test_foreign_contribution_rejected():
+    red = Reduction([("a", 0)])
+    with pytest.raises(ValueError):
+        red.contribute(("b", 5), 1.0)
+
+
+def test_empty_contributors_rejected():
+    with pytest.raises(ValueError):
+        Reduction([])
+
+
+def test_min_and_prod_reducers():
+    r = Reduction([("a", 0), ("a", 1), ("a", 2)], "min")
+    for i, v in enumerate([3.0, 1.0, 2.0]):
+        r.contribute(("a", i), v)
+    assert r.result == 1.0
+    r = Reduction([("a", 0), ("a", 1)], "prod")
+    r.contribute(("a", 0), 3.0)
+    r.contribute(("a", 1), 4.0)
+    assert r.result == 12.0
+
+
+def test_tree_latency_scales_logarithmically():
+    net = NetworkModel(latency_s=1e-3, bandwidth_Bps=1e9, per_message_overhead_s=0.0)
+    assert Reduction.tree_latency(1, net) == 0.0
+    t4 = Reduction.tree_latency(4, net)
+    t16 = Reduction.tree_latency(16, net)
+    assert t16 == pytest.approx(2 * t4)
+
+
+def test_tree_latency_validation():
+    with pytest.raises(ValueError):
+        Reduction.tree_latency(0, NetworkModel.native())

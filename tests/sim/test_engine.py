@@ -1,0 +1,127 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim import SimulationEngine
+
+
+def test_initial_state():
+    eng = SimulationEngine()
+    assert eng.now == 0.0
+    assert eng.pending == 0
+    assert eng.events_fired == 0
+
+
+def test_events_fire_in_time_order():
+    eng = SimulationEngine()
+    out = []
+    eng.schedule_after(3.0, out.append, "c")
+    eng.schedule_after(1.0, out.append, "a")
+    eng.schedule_after(2.0, out.append, "b")
+    eng.run()
+    assert out == ["a", "b", "c"]
+    assert eng.now == 3.0
+
+
+def test_equal_time_events_fifo():
+    eng = SimulationEngine()
+    out = []
+    for label in "abcde":
+        eng.schedule_at(5.0, out.append, label)
+    eng.run()
+    assert out == list("abcde")
+
+
+def test_schedule_in_past_raises():
+    eng = SimulationEngine()
+    eng.schedule_after(1.0, lambda: None)
+    eng.run()
+    with pytest.raises(ValueError):
+        eng.schedule_at(0.5, lambda: None)
+
+
+def test_negative_delay_raises():
+    eng = SimulationEngine()
+    with pytest.raises(ValueError):
+        eng.schedule_after(-1.0, lambda: None)
+
+
+def test_cancelled_event_does_not_fire():
+    eng = SimulationEngine()
+    out = []
+    h = eng.schedule_after(1.0, out.append, "x")
+    eng.schedule_after(2.0, out.append, "y")
+    eng.cancel(h)
+    eng.run()
+    assert out == ["y"]
+    assert eng.events_cancelled == 1
+
+
+def test_cancel_is_idempotent():
+    eng = SimulationEngine()
+    h = eng.schedule_after(1.0, lambda: None)
+    eng.cancel(h)
+    eng.cancel(h)
+    assert eng.events_cancelled == 1
+
+
+def test_run_until_stops_and_resumes():
+    eng = SimulationEngine()
+    out = []
+    eng.schedule_after(1.0, out.append, 1)
+    eng.schedule_after(5.0, out.append, 5)
+    eng.run(until=3.0)
+    assert out == [1]
+    assert eng.now == 3.0
+    eng.run()
+    assert out == [1, 5]
+    assert eng.now == 5.0
+
+
+def test_run_until_advances_time_even_without_events():
+    eng = SimulationEngine()
+    eng.run(until=10.0)
+    assert eng.now == 10.0
+
+
+def test_events_scheduled_during_run_are_honored():
+    eng = SimulationEngine()
+    out = []
+
+    def chain(n):
+        out.append(n)
+        if n < 5:
+            eng.schedule_after(1.0, chain, n + 1)
+
+    eng.schedule_after(0.0, chain, 1)
+    eng.run()
+    assert out == [1, 2, 3, 4, 5]
+    assert eng.now == 4.0
+
+
+def test_max_events_limit():
+    eng = SimulationEngine()
+    out = []
+    for i in range(10):
+        eng.schedule_after(float(i), out.append, i)
+    eng.run(max_events=3)
+    assert out == [0, 1, 2]
+
+
+def test_step_returns_false_when_drained():
+    eng = SimulationEngine()
+    assert eng.step() is False
+    eng.schedule_after(1.0, lambda: None)
+    assert eng.step() is True
+    assert eng.step() is False
+
+
+def test_run_is_not_reentrant():
+    eng = SimulationEngine()
+
+    def nested():
+        with pytest.raises(RuntimeError):
+            eng.run()
+
+    eng.schedule_after(1.0, nested)
+    eng.run()

@@ -1,0 +1,119 @@
+"""Hypothesis property tests for the simulation substrate.
+
+Invariants the whole reproduction rests on:
+
+* **work conservation** — a core distributes exactly one CPU-second per
+  busy wall-second, regardless of how processes come and go;
+* **accounting closure** — busy + idle == elapsed wall time;
+* **weight fairness** — concurrently running processes consume CPU in
+  proportion to their weights;
+* **event ordering** — engine time is monotone and FIFO among ties.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import SharedCore, SimProcess, SimulationEngine
+
+demands = st.floats(min_value=0.001, max_value=5.0, allow_nan=False)
+weights = st.floats(min_value=0.1, max_value=8.0, allow_nan=False)
+arrivals = st.floats(min_value=0.0, max_value=10.0, allow_nan=False)
+
+
+@st.composite
+def process_schedules(draw):
+    n = draw(st.integers(min_value=1, max_value=12))
+    return [
+        (draw(arrivals), draw(demands), draw(weights)) for _ in range(n)
+    ]
+
+
+@given(process_schedules())
+@settings(max_examples=150, deadline=None)
+def test_cpu_time_is_conserved(schedule):
+    eng = SimulationEngine()
+    core = SharedCore(eng, 0)
+    procs = []
+    for i, (at, demand, weight) in enumerate(schedule):
+        p = SimProcess(f"p{i}", demand, weight=weight)
+        procs.append(p)
+        eng.schedule_at(at, core.dispatch, p)
+    eng.run()
+    core.sync()
+    total_cpu = sum(p.cpu_time for p in procs)
+    # every busy wall-second hands out exactly one CPU-second
+    assert math.isclose(total_cpu, core.busy_time, rel_tol=1e-9, abs_tol=1e-9)
+    # and every process received exactly its demand
+    for (at, demand, weight), p in zip(schedule, procs):
+        assert math.isclose(p.cpu_time, demand, rel_tol=1e-9, abs_tol=1e-9)
+
+
+@given(process_schedules(), st.floats(min_value=0.5, max_value=30.0))
+@settings(max_examples=150, deadline=None)
+def test_busy_plus_idle_equals_wall(schedule, horizon):
+    eng = SimulationEngine()
+    core = SharedCore(eng, 0)
+    for i, (at, demand, weight) in enumerate(schedule):
+        eng.schedule_at(at, core.dispatch, SimProcess(f"p{i}", demand, weight=weight))
+    eng.run(until=horizon)
+    core.sync()
+    assert math.isclose(
+        core.busy_time + core.idle_time, eng.now, rel_tol=1e-9, abs_tol=1e-9
+    )
+
+
+@given(
+    st.lists(weights, min_size=2, max_size=6),
+    st.floats(min_value=0.5, max_value=3.0),
+)
+@settings(max_examples=100, deadline=None)
+def test_weighted_fair_shares_while_all_running(ws, window):
+    """Over a window where all processes stay runnable, consumption is
+    exactly proportional to weight."""
+    eng = SimulationEngine()
+    core = SharedCore(eng, 0)
+    procs = []
+    for i, w in enumerate(ws):
+        # demand large enough that nobody finishes inside the window
+        p = SimProcess(f"p{i}", demand=1000.0, weight=w)
+        procs.append(p)
+        core.dispatch(p)
+    eng.run(until=window)
+    core.sync()
+    total_w = sum(ws)
+    for p, w in zip(procs, ws):
+        expected = window * w / total_w
+        assert math.isclose(p.cpu_time, expected, rel_tol=1e-9, abs_tol=1e-9)
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=50))
+@settings(max_examples=100, deadline=None)
+def test_engine_fires_in_nondecreasing_time_order(times):
+    eng = SimulationEngine()
+    fired = []
+    for t in times:
+        eng.schedule_at(t, fired.append, t)
+    eng.run()
+    assert fired == sorted(times)
+    assert eng.now == max(times)
+
+
+@given(process_schedules())
+@settings(max_examples=50, deadline=None)
+def test_simulation_is_deterministic(schedule):
+    def run_once():
+        eng = SimulationEngine()
+        core = SharedCore(eng, 0)
+        order = []
+        for i, (at, demand, weight) in enumerate(schedule):
+            p = SimProcess(
+                f"p{i}", demand, weight=weight,
+                on_complete=lambda pr: order.append((pr.name, pr.completed_at)),
+            )
+            eng.schedule_at(at, core.dispatch, p)
+        eng.run()
+        return order
+
+    assert run_once() == run_once()

@@ -1,0 +1,86 @@
+"""Tests for the command-line interface (tiny scales)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_version_flag(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["--version"])
+    assert exc.value.code == 0
+    assert "repro" in capsys.readouterr().out
+
+
+def test_fig1_command(capsys):
+    assert main(["fig1", "--scale", "0.1", "--iterations", "8"]) == 0
+    out = capsys.readouterr().out
+    assert "(a) no BG task" in out
+    assert "core   3" in out
+
+
+def test_fig3_command(capsys):
+    assert main(["fig3", "--scale", "0.1", "--lb-period", "3"]) == 0
+    assert "Figure 3" in capsys.readouterr().out
+
+
+def test_fig2_command_with_filters(capsys):
+    rc = main(
+        [
+            "fig2",
+            "--scale", "0.2",
+            "--iterations", "20",
+            "--cores", "8",
+            "--apps", "jacobi2d",
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "Figure 2" in out
+    assert "jacobi2d" in out
+    assert "mol3d" not in out
+
+
+def test_fig4_command(capsys):
+    rc = main(
+        ["fig4", "--scale", "0.2", "--iterations", "20", "--cores", "8",
+         "--apps", "wave2d"]
+    )
+    assert rc == 0
+    assert "Figure 4" in capsys.readouterr().out
+
+
+def test_demo_command(capsys):
+    rc = main(["demo", "--scale", "0.2", "--iterations", "20", "--cores", "8"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "interfered, noLB" in out
+    assert "interfered, LB" in out
+
+
+def test_output_directory(tmp_path, capsys):
+    rc = main(
+        ["fig1", "--scale", "0.1", "--iterations", "8", "--output", str(tmp_path)]
+    )
+    assert rc == 0
+    assert (tmp_path / "fig1.txt").exists()
+    assert "(a) no BG task" in (tmp_path / "fig1.txt").read_text()
+
+
+def test_headline_exit_code_reflects_claim(capsys):
+    # a healthy configuration meets the claim -> exit 0
+    rc = main(
+        ["headline", "--scale", "0.5", "--iterations", "60", "--cores", "16",
+         "--apps", "mol3d"]
+    )
+    assert rc == 0
+
+
+def test_unknown_app_rejected():
+    with pytest.raises(SystemExit):
+        main(["demo", "--app", "linpack"])
