@@ -5,36 +5,40 @@ willing to allow". Small ε chases perfect balance (more migrations, more
 churn); large ε tolerates imbalance (cheaper, but converges to doing
 nothing). The sweep quantifies the trade-off the paper leaves to the
 operator.
+
+Driven by the parallel sweep engine (:mod:`repro.experiments.sweep`):
+the ε grid is a declarative one-axis spec executed through
+:func:`run_sweep`, so it shares the scenario vocabulary, caching and
+parallelism of every other sweep in the harness.
 """
 
 import pytest
 
-from benchmarks.ablation_common import interference_run
 from benchmarks.conftest import write_artifact
-from repro.core import RefineVMInterferenceLB
-from repro.experiments import format_table
+from repro.experiments import format_table, run_sweep
+from repro.experiments.sweep_presets import ablation_epsilon_spec
 
 EPSILONS = (0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0)
 
 
 @pytest.fixture(scope="module")
 def sweep():
-    results = {}
-    for eps in EPSILONS:
-        res = interference_run(RefineVMInterferenceLB(eps))
-        results[eps] = (res.app_time, res.app.total_migrations)
-    return results
+    result = run_sweep(ablation_epsilon_spec(EPSILONS))
+    return {
+        eps: result[f"epsilon={eps}"] for eps in EPSILONS
+    }
 
 
 def test_epsilon_sweep(sweep, benchmark):
     benchmark.pedantic(
-        interference_run,
-        args=(RefineVMInterferenceLB(0.05),),
+        run_sweep,
+        args=(ablation_epsilon_spec([0.05]),),
         rounds=1,
         iterations=1,
     )
     rows = [
-        (f"{eps:.2f}", t, m) for eps, (t, m) in sorted(sweep.items())
+        (f"{eps:.2f}", s.app_time, s.total_migrations)
+        for eps, s in sorted(sweep.items())
     ]
     write_artifact(
         "ablation_epsilon",
@@ -48,13 +52,13 @@ def test_epsilon_sweep(sweep, benchmark):
 
 
 def test_tight_epsilon_migrates_more(sweep):
-    assert sweep[0.01][1] >= sweep[0.5][1]
+    assert sweep[0.01].total_migrations >= sweep[0.5].total_migrations
 
 
 def test_very_loose_epsilon_stops_balancing(sweep):
     # with |load - T_avg| allowed to reach T_avg itself, nothing is heavy
-    assert sweep[1.0][1] == 0
+    assert sweep[1.0].total_migrations == 0
 
 
 def test_moderate_epsilon_beats_loose(sweep):
-    assert sweep[0.05][0] < sweep[1.0][0]
+    assert sweep[0.05].app_time < sweep[1.0].app_time

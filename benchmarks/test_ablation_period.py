@@ -3,38 +3,38 @@
 The paper balances periodically; the period trades instrumentation
 window quality and LB overhead against reaction latency. A long period
 leaves the application unbalanced for longer after interference arrives.
+
+Driven by the parallel sweep engine (:mod:`repro.experiments.sweep`):
+the period grid is a declarative one-axis spec executed through
+:func:`run_sweep`.
 """
 
 import pytest
 
-from benchmarks.ablation_common import interference_run
 from benchmarks.conftest import write_artifact
-from repro.core import RefineVMInterferenceLB
-from repro.experiments import format_table
+from repro.experiments import format_table, run_sweep
+from repro.experiments.sweep_presets import ablation_period_spec
 
 PERIODS = (2, 5, 10, 25, 50)
 
 
 @pytest.fixture(scope="module")
 def sweep():
-    results = {}
-    for period in PERIODS:
-        res = interference_run(
-            RefineVMInterferenceLB(0.05), lb_period=period, iterations=100
-        )
-        results[period] = (res.app_time, res.app.lb_steps, res.app.total_migrations)
-    return results
+    result = run_sweep(ablation_period_spec(PERIODS))
+    return {p: result[f"lb_period={p}"] for p in PERIODS}
 
 
 def test_period_sweep(sweep, benchmark):
     benchmark.pedantic(
-        interference_run,
-        args=(RefineVMInterferenceLB(0.05),),
-        kwargs=dict(lb_period=10, iterations=100),
+        run_sweep,
+        args=(ablation_period_spec([10]),),
         rounds=1,
         iterations=1,
     )
-    rows = [(p, t, s, m) for p, (t, s, m) in sorted(sweep.items())]
+    rows = [
+        (p, s.app_time, s.lb_steps, s.total_migrations)
+        for p, s in sorted(sweep.items())
+    ]
     write_artifact(
         "ablation_period",
         format_table(
@@ -49,9 +49,9 @@ def test_period_sweep(sweep, benchmark):
 def test_moderate_period_is_the_sweet_spot(sweep):
     # too slow reacts late; too fast churns (decision overhead + repeated
     # migrations on freshly-measured noise)
-    assert sweep[5][0] < sweep[50][0]
-    assert sweep[5][0] < sweep[2][0]
+    assert sweep[5].app_time < sweep[50].app_time
+    assert sweep[5].app_time < sweep[2].app_time
 
 
 def test_step_counts_follow_period(sweep):
-    assert sweep[2][1] > sweep[10][1] > sweep[50][1]
+    assert sweep[2].lb_steps > sweep[10].lb_steps > sweep[50].lb_steps

@@ -9,6 +9,8 @@ writing code::
     python -m repro fig4 --iterations 100
     python -m repro headline
     python -m repro demo --cores 16
+    python -m repro sweep --preset fig2 --workers 4
+    python -m repro sweep --spec my_sweep.json -j 4 --jsonl progress.jsonl
 
 All commands print the regenerated table/timeline to stdout; ``--output
 DIR`` additionally writes it to ``DIR/<figure>.txt``. The heavy commands
@@ -108,6 +110,63 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["jacobi2d", "wave2d", "mol3d"],
         help="application to run",
     )
+
+    psw = sub.add_parser(
+        "sweep",
+        help="run a scenario sweep in parallel with on-disk result caching",
+    )
+    src = psw.add_mutually_exclusive_group(required=True)
+    src.add_argument(
+        "--spec", type=Path, metavar="FILE", help="sweep spec JSON file"
+    )
+    src.add_argument(
+        "--preset",
+        choices=["fig2", "abl-eps", "abl-period", "smoke"],
+        help="a built-in sweep (fig2 = the full Figure 2/4 matrix)",
+    )
+    psw.add_argument(
+        "--apps",
+        nargs="+",
+        choices=["jacobi2d", "wave2d", "mol3d"],
+        default=None,
+        help="applications for the fig2 preset (default: all three)",
+    )
+    psw.add_argument(
+        "--cores",
+        type=int,
+        nargs="+",
+        default=None,
+        help="core counts for the fig2 preset (default: 8 16 24 32)",
+    )
+    psw.add_argument(
+        "--scale", type=float, default=1.0,
+        help="problem-size multiplier for presets (1.0 = paper scale)",
+    )
+    psw.add_argument(
+        "--iterations", type=int, default=200,
+        help="application iterations for presets",
+    )
+    psw.add_argument(
+        "--workers", "-j", type=int, default=1,
+        help="worker processes (1 = serial; results are identical)",
+    )
+    psw.add_argument(
+        "--cache-dir", type=Path, default=None, metavar="DIR",
+        help="result cache location (default: .repro-cache/sweeps, "
+        "or $REPRO_CACHE_DIR)",
+    )
+    psw.add_argument(
+        "--no-cache", action="store_true",
+        help="run every scenario even if a cached result exists",
+    )
+    psw.add_argument(
+        "--jsonl", type=Path, default=None, metavar="FILE",
+        help="append structured progress events to FILE as JSON lines",
+    )
+    psw.add_argument(
+        "--output", type=Path, default=None, metavar="DIR",
+        help="also write the result table into DIR/sweep_<name>.txt",
+    )
     return parser
 
 
@@ -205,6 +264,75 @@ def _cmd_demo(args) -> int:
     return 0
 
 
+def _sweep_spec_from_args(args):
+    from repro.experiments.sweep import SweepSpec
+    from repro.experiments.sweep_presets import (
+        ablation_epsilon_spec,
+        ablation_period_spec,
+        fig2_sweep_spec,
+        smoke_spec,
+    )
+
+    if args.spec is not None:
+        return SweepSpec.from_file(args.spec)
+    if args.preset == "fig2":
+        return fig2_sweep_spec(
+            apps=args.apps,
+            core_counts=args.cores,
+            scale=args.scale,
+            iterations=args.iterations,
+        )
+    if args.preset == "abl-eps":
+        return ablation_epsilon_spec(scale=args.scale)
+    if args.preset == "abl-period":
+        return ablation_period_spec(scale=args.scale)
+    return smoke_spec()
+
+
+def _cmd_sweep(args) -> int:
+    from repro.experiments.cache import ResultCache, default_cache_dir
+    from repro.experiments.progress import EventLog
+    from repro.experiments.sweep import run_sweep
+    from repro.experiments.sweep_presets import (
+        fig2_table_from_sweep,
+        fig4_table_from_sweep,
+    )
+
+    try:
+        spec = _sweep_spec_from_args(args)
+        spec.expand()  # validate parameters before touching cache/pool
+    except (ValueError, OSError) as exc:
+        print(f"repro sweep: error: {exc}", file=sys.stderr)
+        return 2
+    if args.workers < 1:
+        print(
+            f"repro sweep: error: --workers must be >= 1, got {args.workers}",
+            file=sys.stderr,
+        )
+        return 2
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir or default_cache_dir())
+
+    jsonl_stream = None
+    try:
+        if args.jsonl is not None:
+            args.jsonl.parent.mkdir(parents=True, exist_ok=True)
+            jsonl_stream = open(args.jsonl, "a")
+        log = EventLog(stream=jsonl_stream)
+        result = run_sweep(spec, workers=args.workers, cache=cache, log=log)
+    finally:
+        if jsonl_stream is not None:
+            jsonl_stream.close()
+
+    text = result.text()
+    if args.preset == "fig2" or (args.spec and spec.name == "fig2"):
+        text += "\n\n" + fig2_table_from_sweep(result)
+        text += "\n\n" + fig4_table_from_sweep(result)
+    _emit(text, f"sweep_{spec.name}", args.output)
+    return 0
+
+
 _COMMANDS = {
     "fig1": _cmd_fig1,
     "fig2": _cmd_fig2,
@@ -212,6 +340,7 @@ _COMMANDS = {
     "fig4": _cmd_fig4,
     "headline": _cmd_headline,
     "demo": _cmd_demo,
+    "sweep": _cmd_sweep,
 }
 
 

@@ -12,6 +12,14 @@ This package turns the library into the paper's evaluation:
   (``fig1`` … ``fig4``) plus the headline ≥50 %-reduction check; each
   returns structured data and a formatted text table.
 * :mod:`repro.experiments.tables` — plain-text table rendering.
+* :mod:`repro.experiments.sweep` — declarative scenario sweeps run in
+  parallel over a process pool, with per-point summaries.
+* :mod:`repro.experiments.cache` — on-disk result cache keyed by a
+  content hash of the scenario parameters + a code fingerprint.
+* :mod:`repro.experiments.progress` — structured (JSON-lines) sweep
+  progress events and aggregate metrics.
+* :mod:`repro.experiments.sweep_presets` — the paper's sweeps (Figure
+  2/4 matrix, ablations) expressed as sweep specs.
 """
 
 from repro.experiments.scenario import BackgroundSpec, Scenario
@@ -33,6 +41,16 @@ from repro.experiments.figures import (
 )
 from repro.experiments.repeat import RepeatedCase, RunStatistics, repeat_case, summarize
 from repro.experiments.tables import format_table
+from repro.experiments.cache import ResultCache, code_fingerprint, point_key
+from repro.experiments.progress import EventLog, SweepMetrics
+from repro.experiments.sweep import (
+    ScenarioSummary,
+    SweepResult,
+    SweepSpec,
+    build_scenario,
+    run_point,
+    run_sweep,
+)
 
 __all__ = [
     "BackgroundSpec",
@@ -57,4 +75,15 @@ __all__ = [
     "RunStatistics",
     "repeat_case",
     "summarize",
+    "ResultCache",
+    "code_fingerprint",
+    "point_key",
+    "EventLog",
+    "SweepMetrics",
+    "ScenarioSummary",
+    "SweepResult",
+    "SweepSpec",
+    "build_scenario",
+    "run_point",
+    "run_sweep",
 ]

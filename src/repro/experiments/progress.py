@@ -1,0 +1,104 @@
+"""Structured sweep progress: JSON-lines events and aggregate metrics.
+
+The sweep engine narrates a run as a stream of flat JSON objects — one
+line per event — so long sweeps can be monitored (``tail -f``) and
+post-processed (wall-time per scenario, worker utilisation, cache hit
+rate) without parsing human-oriented tables. Events carry a monotonic
+``t`` offset in seconds from sweep start, never wall-clock dates, so
+logs diff cleanly between runs.
+
+Event vocabulary (all fields JSON scalars):
+
+* ``sweep_start`` — ``spec``, ``points``, ``workers``, ``cached``
+* ``point_start`` — ``label``, ``key``
+* ``point_done`` — ``label``, ``key``, ``cached``, ``wall_s``, ``worker``
+* ``sweep_done`` — the :class:`SweepMetrics` fields
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, TextIO
+
+__all__ = ["SweepMetrics", "EventLog"]
+
+
+@dataclass(frozen=True)
+class SweepMetrics:
+    """Aggregate measurements of one sweep execution.
+
+    Attributes
+    ----------
+    points:
+        Total scenarios in the expanded spec.
+    executed:
+        Scenarios actually simulated (misses).
+    cache_hits:
+        Scenarios served from the on-disk cache.
+    elapsed_s:
+        Wall-clock of the whole sweep (expansion to last result).
+    executed_wall_s:
+        Summed per-scenario simulation wall time (across all workers).
+    workers:
+        Worker processes requested (1 = in-process serial).
+    worker_utilization:
+        ``executed_wall_s / (workers * elapsed_s)`` — the fraction of the
+        worker pool's capacity spent simulating. 0.0 when nothing ran.
+    """
+
+    points: int
+    executed: int
+    cache_hits: int
+    elapsed_s: float
+    executed_wall_s: float
+    workers: int
+    worker_utilization: float
+
+    @property
+    def hit_rate(self) -> float:
+        """Cache hits / points (0.0 for an empty sweep)."""
+        return self.cache_hits / self.points if self.points else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "points": self.points,
+            "executed": self.executed,
+            "cache_hits": self.cache_hits,
+            "hit_rate": self.hit_rate,
+            "elapsed_s": self.elapsed_s,
+            "executed_wall_s": self.executed_wall_s,
+            "workers": self.workers,
+            "worker_utilization": self.worker_utilization,
+        }
+
+
+class EventLog:
+    """Accumulates sweep events; optionally mirrors them as JSON lines.
+
+    Parameters
+    ----------
+    stream:
+        Writable text stream for the JSONL mirror (e.g. an open file or
+        ``sys.stderr``). None keeps events in memory only.
+    """
+
+    def __init__(self, stream: Optional[TextIO] = None) -> None:
+        self._stream = stream
+        self._t0 = time.monotonic()
+        self.events: List[Dict[str, Any]] = []
+
+    def emit(self, event: str, **fields: Any) -> Dict[str, Any]:
+        """Record (and optionally write) one event; returns the record."""
+        record = {"event": event, "t": round(time.monotonic() - self._t0, 6)}
+        record.update(fields)
+        self.events.append(record)
+        if self._stream is not None:
+            self._stream.write(json.dumps(record, sort_keys=True) + "\n")
+            self._stream.flush()
+        return record
+
+    def of_type(self, event: str) -> List[Dict[str, Any]]:
+        """All recorded events of one type, in emission order."""
+        return [e for e in self.events if e["event"] == event]

@@ -1,0 +1,668 @@
+"""Parallel scenario-sweep engine.
+
+Every figure and ablation in this reproduction is, at heart, a sweep:
+run :func:`~repro.experiments.runner.run_scenario` over a grid of
+scenario parameters and tabulate summaries. This module makes that a
+first-class, parallel, cached operation:
+
+* :class:`SweepSpec` — a **declarative** sweep: a ``base`` parameter
+  dict, cartesian ``axes`` (field -> list of values), and/or explicit
+  ``points``. Specs are plain JSON-able data (:meth:`SweepSpec.from_file`
+  loads one from disk), so sweeps can be versioned and shared.
+* :func:`run_point` — execute one normalised parameter dict on a fresh
+  simulated cluster and reduce it to a :class:`ScenarioSummary` (plain
+  scalars — picklable, JSON-able, comparable bit-for-bit).
+* :func:`run_sweep` — fan points out over a process pool
+  (``workers > 1``) or run them inline (``workers = 1``); either way the
+  per-point summaries are **identical**, because each point is a pure
+  function of its parameters (fresh engine, fresh cluster, fresh
+  balancer, seed threaded explicitly). An optional
+  :class:`~repro.experiments.cache.ResultCache` makes a second identical
+  run a pure cache hit.
+
+Scenario parameter vocabulary (all JSON scalars; see
+:data:`PARAM_DEFAULTS` for defaults):
+
+==================  =====================================================
+``app``             ``jacobi2d`` / ``wave2d`` / ``mol3d`` / ``bg`` (the
+                    paper's 2-core background Wave2D, run as the app)
+``scale``           problem-size multiplier (1.0 = paper scale)
+``cores``           application cores
+``iterations``      application iterations
+``seed``            run-to-run variation seed; the string ``"auto"``
+                    derives a per-point seed from the point's content
+``balancer``        ``none`` / ``refine-vm`` / ``refine`` / ``greedy`` /
+                    ``greedy-aware``
+``epsilon``         Eq. (3) slack for the refinement balancers
+``lb_period``       LB cadence in iterations
+``decision_overhead_s``  per-step strategy cost charged by the policy
+``bg``              add the paper's 2-core interfering Wave2D on cores
+                    0-1, sized to outlast the run
+``bg_weight``       OS share weight of the background job (null = the
+                    paper's per-app default)
+``bg_overlap``      background duration as a multiple of the estimated
+                    app duration (null = ``1.2 * (1 + weight)``)
+``cores_per_node``  node width (paper testbed: 4)
+==================  =====================================================
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    Any,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+import json
+
+from repro.core import GreedyLB, RefineLB, RefineVMInterferenceLB
+from repro.core.balancer import LoadBalancer
+from repro.core.policies import LBPolicy
+from repro.experiments.cache import (
+    ResultCache,
+    canonical_json,
+    code_fingerprint,
+    point_key,
+)
+from repro.experiments.progress import EventLog, SweepMetrics
+from repro.experiments.runner import ExperimentResult, run_scenario
+from repro.experiments.scenario import BackgroundSpec, Scenario
+from repro.experiments.tables import format_table
+from repro.util import derive_seed
+
+__all__ = [
+    "PARAM_DEFAULTS",
+    "normalize_params",
+    "build_scenario",
+    "background_iterations",
+    "ScenarioSummary",
+    "summarize_result",
+    "run_point",
+    "SweepPoint",
+    "SweepSpec",
+    "PointResult",
+    "SweepResult",
+    "run_sweep",
+]
+
+#: Default value of every scenario parameter (the normalised form always
+#: carries every key, so cache keys never shift when defaults are spelled
+#: out explicitly).
+PARAM_DEFAULTS: Dict[str, Any] = {
+    "app": "jacobi2d",
+    "scale": 1.0,
+    "cores": 8,
+    "iterations": 50,
+    "seed": 0,
+    "balancer": "none",
+    "epsilon": 0.05,
+    "lb_period": 5,
+    "decision_overhead_s": 2e-4,
+    "bg": False,
+    "bg_weight": None,
+    "bg_overlap": None,
+    "cores_per_node": 4,
+}
+
+_APP_NAMES = ("jacobi2d", "wave2d", "mol3d", "bg")
+_BALANCER_NAMES = ("none", "refine-vm", "refine", "greedy", "greedy-aware")
+
+
+def normalize_params(params: Mapping[str, Any]) -> Dict[str, Any]:
+    """Canonical, fully defaulted, validated form of a point's params.
+
+    The result is what gets content-hashed for the cache key and what
+    :func:`build_scenario` consumes, so two spellings of the same
+    scenario (defaults implicit vs explicit) always collide on the same
+    key. ``seed="auto"`` is resolved here to a content-derived seed.
+    """
+    unknown = set(params) - set(PARAM_DEFAULTS)
+    if unknown:
+        raise ValueError(
+            f"unknown scenario parameter(s) {sorted(unknown)}; "
+            f"known: {sorted(PARAM_DEFAULTS)}"
+        )
+    p: Dict[str, Any] = dict(PARAM_DEFAULTS)
+    p.update(params)
+
+    if p["balancer"] is None:
+        p["balancer"] = "none"
+    if p["app"] not in _APP_NAMES:
+        raise ValueError(f"unknown app {p['app']!r}; known: {_APP_NAMES}")
+    if p["balancer"] not in _BALANCER_NAMES:
+        raise ValueError(
+            f"unknown balancer {p['balancer']!r}; known: {_BALANCER_NAMES}"
+        )
+    p["scale"] = float(p["scale"])
+    p["cores"] = int(p["cores"])
+    p["iterations"] = int(p["iterations"])
+    p["epsilon"] = float(p["epsilon"])
+    p["lb_period"] = int(p["lb_period"])
+    p["decision_overhead_s"] = float(p["decision_overhead_s"])
+    p["bg"] = bool(p["bg"])
+    p["bg_weight"] = None if p["bg_weight"] is None else float(p["bg_weight"])
+    p["bg_overlap"] = None if p["bg_overlap"] is None else float(p["bg_overlap"])
+    p["cores_per_node"] = int(p["cores_per_node"])
+    if p["seed"] == "auto":
+        content = dict(p)
+        del content["seed"]
+        p["seed"] = derive_seed(0, canonical_json(content))
+    else:
+        p["seed"] = int(p["seed"])
+    return dict(sorted(p.items()))
+
+
+def _make_balancer(name: str, epsilon: float) -> Optional[LoadBalancer]:
+    if name == "none":
+        return None
+    if name == "refine-vm":
+        return RefineVMInterferenceLB(epsilon)
+    if name == "refine":
+        return RefineLB(epsilon)
+    if name == "greedy":
+        return GreedyLB()
+    if name == "greedy-aware":
+        return GreedyLB(aware=True)
+    raise ValueError(f"unknown balancer {name!r}")  # pragma: no cover
+
+
+def _app_model(name: str, scale: float, seed: int):
+    from repro.experiments.figures import _bg_model, paper_app
+
+    if name == "bg":
+        return _bg_model(scale)
+    return paper_app(name, scale, seed=seed)
+
+
+def _bg_weight_default(app_name: str) -> float:
+    from repro.experiments.figures import _BG_WEIGHT
+
+    return _BG_WEIGHT.get(app_name, 1.0)
+
+
+def background_iterations(params: Mapping[str, Any]) -> int:
+    """Iterations of the 2-core background job for a ``bg=True`` point.
+
+    Sized exactly as :func:`~repro.experiments.figures.run_case` sizes
+    it: the job alone must last ``overlap`` x the application's estimated
+    interference-free duration (default overlap ``1.2 * (1 + weight)``),
+    so the interference persists for the whole stretched run.
+    Deterministic in the point's parameters, which keeps sweep points
+    pure and lets the Fig. 2 preset compute the matching ``bg``-alone
+    run up front.
+    """
+    from repro.experiments.figures import _bg_model, _estimate_iteration_time
+
+    p = normalize_params(dict(params))
+    weight = p["bg_weight"]
+    if weight is None:
+        weight = _bg_weight_default(p["app"])
+    overlap = p["bg_overlap"]
+    if overlap is None:
+        overlap = 1.2 * (1.0 + weight)
+    model = _app_model(p["app"], p["scale"], p["seed"])
+    app_est = _estimate_iteration_time(model, p["cores"]) * p["iterations"]
+    bg_iter_est = _estimate_iteration_time(_bg_model(p["scale"]), 2)
+    return max(int(math.ceil(overlap * app_est / bg_iter_est)), 1)
+
+
+def build_scenario(params: Mapping[str, Any]) -> Scenario:
+    """Materialise a normalised parameter dict as a fresh :class:`Scenario`.
+
+    Every call builds new model/balancer/policy objects, so concurrent
+    and back-to-back runs can never share mutable state.
+    """
+    p = normalize_params(dict(params))
+    model = _app_model(p["app"], p["scale"], p["seed"])
+    balancer = _make_balancer(p["balancer"], p["epsilon"])
+    policy = LBPolicy(
+        period_iterations=p["lb_period"],
+        decision_overhead_s=p["decision_overhead_s"],
+    )
+    bg = None
+    if p["bg"]:
+        from repro.experiments.figures import _bg_model
+
+        weight = p["bg_weight"]
+        if weight is None:
+            weight = _bg_weight_default(p["app"])
+        bg = BackgroundSpec(
+            model=_bg_model(p["scale"]),
+            core_ids=(0, 1),
+            iterations=background_iterations(p),
+            weight=weight,
+        )
+    return Scenario(
+        app=model,
+        num_cores=p["cores"],
+        iterations=p["iterations"],
+        balancer=balancer,
+        policy=policy,
+        bg=bg,
+        cores_per_node=p["cores_per_node"],
+    )
+
+
+# ---------------------------------------------------------------------------
+# summaries
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ScenarioSummary:
+    """The sweep-facing reduction of one :class:`ExperimentResult`.
+
+    Plain scalars only: picklable across worker processes, JSON-able for
+    the on-disk cache, and comparable with ``==`` — which is what lets
+    the engine guarantee bit-identical results between serial, parallel,
+    and cached execution of the same point.
+    """
+
+    app_time: float
+    bg_time: Optional[float]
+    energy_j: float
+    avg_power_w: float
+    busy_core_seconds: float
+    iterations: int
+    lb_steps: int
+    total_migrations: int
+    total_migration_cost_s: float
+    total_task_cpu_s: float
+    final_mapping_digest: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "app_time": self.app_time,
+            "bg_time": self.bg_time,
+            "energy_j": self.energy_j,
+            "avg_power_w": self.avg_power_w,
+            "busy_core_seconds": self.busy_core_seconds,
+            "iterations": self.iterations,
+            "lb_steps": self.lb_steps,
+            "total_migrations": self.total_migrations,
+            "total_migration_cost_s": self.total_migration_cost_s,
+            "total_task_cpu_s": self.total_task_cpu_s,
+            "final_mapping_digest": self.final_mapping_digest,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSummary":
+        return cls(
+            app_time=float(data["app_time"]),
+            bg_time=None if data["bg_time"] is None else float(data["bg_time"]),
+            energy_j=float(data["energy_j"]),
+            avg_power_w=float(data["avg_power_w"]),
+            busy_core_seconds=float(data["busy_core_seconds"]),
+            iterations=int(data["iterations"]),
+            lb_steps=int(data["lb_steps"]),
+            total_migrations=int(data["total_migrations"]),
+            total_migration_cost_s=float(data["total_migration_cost_s"]),
+            total_task_cpu_s=float(data["total_task_cpu_s"]),
+            final_mapping_digest=str(data["final_mapping_digest"]),
+        )
+
+
+def summarize_result(result: ExperimentResult) -> ScenarioSummary:
+    """Reduce a full :class:`ExperimentResult` to its scalar summary."""
+    import hashlib
+
+    mapping_blob = canonical_json(
+        sorted(
+            ([name, index], core)
+            for (name, index), core in result.final_mapping.items()
+        )
+    )
+    return ScenarioSummary(
+        app_time=float(result.app_time),
+        bg_time=None if result.bg_time is None else float(result.bg_time),
+        energy_j=float(result.energy.energy_j),
+        avg_power_w=float(result.energy.average_power_w),
+        busy_core_seconds=float(result.energy.busy_core_seconds),
+        iterations=int(result.app.iterations),
+        lb_steps=int(result.app.lb_steps),
+        total_migrations=int(result.app.total_migrations),
+        total_migration_cost_s=float(result.app.total_migration_cost_s),
+        total_task_cpu_s=float(result.app.total_task_cpu_s),
+        final_mapping_digest=hashlib.sha256(mapping_blob.encode()).hexdigest()[:16],
+    )
+
+
+def run_point(params: Mapping[str, Any]) -> ScenarioSummary:
+    """Execute one parameter dict hermetically and summarise it."""
+    return summarize_result(run_scenario(build_scenario(params)))
+
+
+def _execute_point(payload: Tuple[int, Dict[str, Any]]) -> Tuple[int, Dict[str, Any], float, str]:
+    """Worker entry point: run one point, timing it (picklable, top-level)."""
+    index, params = payload
+    t0 = time.perf_counter()
+    summary = run_point(params)
+    wall = time.perf_counter() - t0
+    return index, summary.to_dict(), wall, f"pid:{os.getpid()}"
+
+
+# ---------------------------------------------------------------------------
+# specs
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One expanded scenario of a sweep: label + canonical parameters."""
+
+    index: int
+    label: str
+    params: Dict[str, Any]
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """Declarative sweep description.
+
+    Attributes
+    ----------
+    name:
+        Sweep identifier (used in reports and artefact names).
+    base:
+        Parameters shared by every point.
+    axes:
+        ``field -> list of values``; the cartesian product over all axes
+        is swept (ordered as given, last axis fastest).
+    points:
+        Explicit extra points (each a partial param dict merged over
+        ``base``); appended after the grid. A point dict may carry a
+        ``label`` key, which names it in reports but does not affect the
+        cache key.
+    """
+
+    name: str
+    base: Dict[str, Any] = field(default_factory=dict)
+    axes: Dict[str, Sequence[Any]] = field(default_factory=dict)
+    points: Tuple[Dict[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        for axis, values in self.axes.items():
+            if axis not in PARAM_DEFAULTS and axis != "label":
+                raise ValueError(f"unknown sweep axis {axis!r}")
+            if not list(values):
+                raise ValueError(f"axis {axis!r} has no values")
+
+    # ------------------------------------------------------------------
+    def expand(self) -> List[SweepPoint]:
+        """The ordered scenario list this spec describes."""
+        raw: List[Dict[str, Any]] = []
+        if self.axes:
+            keys = list(self.axes)
+            for combo in itertools.product(*(self.axes[k] for k in keys)):
+                raw.append(dict(zip(keys, combo)))
+        for extra in self.points:
+            raw.append(dict(extra))
+        if not raw:
+            raw.append({})
+
+        expanded: List[SweepPoint] = []
+        seen_labels: Dict[str, int] = {}
+        for i, overrides in enumerate(raw):
+            label = overrides.pop("label", None)
+            merged = {**self.base, **overrides}
+            merged.pop("label", None)
+            params = normalize_params(merged)
+            if label is None:
+                varying = [k for k in overrides if k in PARAM_DEFAULTS]
+                label = (
+                    ",".join(f"{k}={params[k]}" for k in varying)
+                    or f"point{i}"
+                )
+            if label in seen_labels:
+                seen_labels[label] += 1
+                label = f"{label}#{seen_labels[label]}"
+            else:
+                seen_labels[label] = 0
+            expanded.append(SweepPoint(index=i, label=label, params=params))
+        return expanded
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "base": dict(self.base),
+            "axes": {k: list(v) for k, v in self.axes.items()},
+            "points": [dict(p) for p in self.points],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SweepSpec":
+        if "name" not in data:
+            raise ValueError("sweep spec needs a 'name'")
+        unknown = set(data) - {"name", "base", "axes", "points"}
+        if unknown:
+            raise ValueError(f"unknown sweep spec key(s) {sorted(unknown)}")
+        return cls(
+            name=str(data["name"]),
+            base=dict(data.get("base", {})),
+            axes={k: list(v) for k, v in data.get("axes", {}).items()},
+            points=tuple(dict(p) for p in data.get("points", [])),
+        )
+
+    @classmethod
+    def from_file(cls, path: Union[str, Path]) -> "SweepSpec":
+        """Load a spec from a JSON file."""
+        with open(path) as fh:
+            return cls.from_dict(json.load(fh))
+
+
+# ---------------------------------------------------------------------------
+# execution
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PointResult:
+    """Outcome of one sweep point.
+
+    ``wall_s`` is the simulation wall time (0.0 for cache hits);
+    ``worker`` identifies where it ran (``main``, ``pid:<n>``, or
+    ``cache``).
+    """
+
+    index: int
+    label: str
+    params: Dict[str, Any]
+    key: str
+    summary: ScenarioSummary
+    cached: bool
+    wall_s: float
+    worker: str
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Everything a sweep produced: ordered results + aggregate metrics."""
+
+    spec_name: str
+    results: Tuple[PointResult, ...]
+    metrics: SweepMetrics
+
+    def summaries(self) -> Dict[str, ScenarioSummary]:
+        """``label -> summary`` for every point."""
+        return {r.label: r.summary for r in self.results}
+
+    def __getitem__(self, label: str) -> ScenarioSummary:
+        for r in self.results:
+            if r.label == label:
+                return r.summary
+        raise KeyError(f"no sweep point labelled {label!r}")
+
+    def text(self) -> str:
+        """Human-readable table of per-point summaries + sweep metrics."""
+        rows = [
+            (
+                r.label,
+                r.summary.app_time,
+                "-" if r.summary.bg_time is None else f"{r.summary.bg_time:.3f}",
+                r.summary.energy_j,
+                r.summary.avg_power_w,
+                r.summary.total_migrations,
+                "hit" if r.cached else f"{r.wall_s:.2f}s",
+            )
+            for r in self.results
+        ]
+        table = format_table(
+            ["scenario", "app time (s)", "bg time (s)", "energy (J)",
+             "power (W)", "migrations", "run"],
+            rows,
+            title=f"sweep {self.spec_name} — {self.metrics.points} scenarios",
+            float_fmt="{:.3f}",
+        )
+        m = self.metrics
+        footer = (
+            f"workers={m.workers} executed={m.executed} "
+            f"cache_hits={m.cache_hits} ({100.0 * m.hit_rate:.0f}%) "
+            f"elapsed={m.elapsed_s:.2f}s "
+            f"utilization={100.0 * m.worker_utilization:.0f}%"
+        )
+        return table + "\n" + footer
+
+
+def run_sweep(
+    spec: SweepSpec,
+    *,
+    workers: int = 1,
+    cache: Optional[ResultCache] = None,
+    log: Optional[EventLog] = None,
+) -> SweepResult:
+    """Execute every point of ``spec``; returns ordered results + metrics.
+
+    Parameters
+    ----------
+    workers:
+        Process-pool width. 1 runs in-process (no pool); either way the
+        per-point summaries are identical for the same spec.
+    cache:
+        Optional on-disk result cache; hits skip simulation entirely and
+        misses are stored after running.
+    log:
+        Structured event sink (see :mod:`repro.experiments.progress`).
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    log = log if log is not None else EventLog()
+    t_start = time.perf_counter()
+
+    points = spec.expand()
+    fingerprint = code_fingerprint()
+    keys = {p.index: point_key(p.params, fingerprint=fingerprint) for p in points}
+
+    outcomes: Dict[int, PointResult] = {}
+    misses: List[SweepPoint] = []
+    for p in points:
+        hit = cache.get(keys[p.index]) if cache is not None else None
+        if hit is not None:
+            outcomes[p.index] = PointResult(
+                index=p.index,
+                label=p.label,
+                params=p.params,
+                key=keys[p.index],
+                summary=ScenarioSummary.from_dict(hit),
+                cached=True,
+                wall_s=0.0,
+                worker="cache",
+            )
+        else:
+            misses.append(p)
+
+    log.emit(
+        "sweep_start",
+        spec=spec.name,
+        points=len(points),
+        workers=workers,
+        cached=len(outcomes),
+    )
+    for p in points:
+        if p.index in outcomes:
+            log.emit(
+                "point_done",
+                label=p.label,
+                key=keys[p.index],
+                cached=True,
+                wall_s=0.0,
+                worker="cache",
+            )
+
+    def finish(p: SweepPoint, summary: ScenarioSummary, wall: float, worker: str) -> None:
+        outcomes[p.index] = PointResult(
+            index=p.index,
+            label=p.label,
+            params=p.params,
+            key=keys[p.index],
+            summary=summary,
+            cached=False,
+            wall_s=wall,
+            worker=worker,
+        )
+        if cache is not None:
+            cache.put(keys[p.index], p.params, summary.to_dict())
+        log.emit(
+            "point_done",
+            label=p.label,
+            key=keys[p.index],
+            cached=False,
+            wall_s=round(wall, 6),
+            worker=worker,
+        )
+
+    if misses and workers == 1:
+        for p in misses:
+            log.emit("point_start", label=p.label, key=keys[p.index])
+            t0 = time.perf_counter()
+            summary = run_point(p.params)
+            finish(p, summary, time.perf_counter() - t0, "main")
+    elif misses:
+        by_index = {p.index: p for p in misses}
+        with ProcessPoolExecutor(max_workers=min(workers, len(misses))) as pool:
+            futures = {}
+            for p in misses:
+                log.emit("point_start", label=p.label, key=keys[p.index])
+                futures[pool.submit(_execute_point, (p.index, p.params))] = p.index
+            pending = set(futures)
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for fut in done:
+                    index, summary_dict, wall, worker = fut.result()
+                    finish(
+                        by_index[index],
+                        ScenarioSummary.from_dict(summary_dict),
+                        wall,
+                        worker,
+                    )
+
+    elapsed = time.perf_counter() - t_start
+    executed = [r for r in outcomes.values() if not r.cached]
+    executed_wall = sum(r.wall_s for r in executed)
+    metrics = SweepMetrics(
+        points=len(points),
+        executed=len(executed),
+        cache_hits=len(points) - len(executed),
+        elapsed_s=elapsed,
+        executed_wall_s=executed_wall,
+        workers=workers,
+        worker_utilization=(
+            executed_wall / (workers * elapsed) if executed and elapsed > 0 else 0.0
+        ),
+    )
+    log.emit("sweep_done", **metrics.to_dict())
+    ordered = tuple(outcomes[p.index] for p in points)
+    return SweepResult(spec_name=spec.name, results=ordered, metrics=metrics)

@@ -1,0 +1,218 @@
+"""Canonical sweeps expressed as :class:`~repro.experiments.sweep.SweepSpec`.
+
+These port the paper's evaluation loops onto the parallel sweep engine:
+
+* :func:`fig2_sweep_spec` — the full Figure 2/4 run matrix (every
+  (app, cores) cell's five runs: base, balanced base, interfered noLB,
+  interfered LB, and the background job alone) as independent sweep
+  points, so a 4-worker pool runs the whole figure ~4x faster and a
+  re-run is a pure cache hit. :func:`fig2_rows_from_sweep` /
+  :func:`fig4_rows_from_sweep` reassemble the paper's penalty and
+  energy tables from the summaries.
+* :func:`ablation_epsilon_spec` / :func:`ablation_period_spec` — the
+  ABL-EPS and ABL-PERIOD benchmark sweeps (interference run with the
+  paper's balancer, sweeping ε / the LB period).
+* :func:`smoke_spec` — a tiny 4-scenario sweep for CI.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.penalty import percent_increase
+from repro.experiments.sweep import (
+    SweepResult,
+    SweepSpec,
+    background_iterations,
+)
+from repro.experiments.tables import format_table
+
+__all__ = [
+    "fig2_sweep_spec",
+    "fig2_rows_from_sweep",
+    "fig2_table_from_sweep",
+    "fig4_rows_from_sweep",
+    "fig4_table_from_sweep",
+    "ablation_epsilon_spec",
+    "ablation_period_spec",
+    "smoke_spec",
+]
+
+#: The five runs behind one Figure 2/4 cell (matrix variant -> overrides).
+_FIG2_VARIANTS: Tuple[Tuple[str, Dict[str, object]], ...] = (
+    ("base", {}),
+    ("base_lb", {"balancer": "refine-vm"}),
+    ("nolb", {"bg": True}),
+    ("lb", {"bg": True, "balancer": "refine-vm"}),
+)
+
+
+def fig2_sweep_spec(
+    *,
+    apps: Optional[Sequence[str]] = None,
+    core_counts: Optional[Sequence[int]] = None,
+    scale: float = 1.0,
+    iterations: int = 200,
+    lb_period: int = 5,
+    epsilon: float = 0.05,
+    seed: int = 0,
+) -> SweepSpec:
+    """The Figure 2/4 matrix as one flat sweep (5 points per cell)."""
+    from repro.experiments.figures import PAPER_CORE_COUNTS, paper_app_names
+
+    apps = tuple(apps) if apps is not None else paper_app_names()
+    core_counts = tuple(core_counts) if core_counts is not None else PAPER_CORE_COUNTS
+    base = {
+        "scale": scale,
+        "iterations": iterations,
+        "lb_period": lb_period,
+        "epsilon": epsilon,
+        "seed": seed,
+    }
+    points: List[Dict[str, object]] = []
+    for app in apps:
+        for cores in core_counts:
+            cell = {"app": app, "cores": cores}
+            for variant, overrides in _FIG2_VARIANTS:
+                points.append(
+                    {
+                        **cell,
+                        **overrides,
+                        "label": f"{app}/{cores}/{variant}",
+                    }
+                )
+            # the background job alone, sized exactly as the interfered
+            # runs of this cell size it
+            bg_iters = background_iterations({**base, **cell, "bg": True})
+            points.append(
+                {
+                    "app": "bg",
+                    "cores": 2,
+                    "iterations": bg_iters,
+                    "label": f"{app}/{cores}/bg_alone",
+                }
+            )
+    return SweepSpec(name="fig2", base=base, points=tuple(points))
+
+
+def _fig2_cells(result: SweepResult) -> List[Tuple[str, int]]:
+    cells = []
+    for r in result.results:
+        parts = r.label.split("/")
+        if len(parts) == 3 and parts[2] == "base":
+            cells.append((parts[0], int(parts[1])))
+    return cells
+
+
+def fig2_rows_from_sweep(result: SweepResult) -> List[Tuple[str, int, float, float, float, float]]:
+    """Figure 2 penalty rows ``(app, cores, noLB, LB, bg_noLB, bg_LB)``.
+
+    Penalties follow :class:`~repro.experiments.figures.CaseResult`: each
+    variant is compared against the matching baseline (LB run vs the
+    *balanced* interference-free run) so the number isolates
+    interference.
+    """
+    rows = []
+    for app, cores in _fig2_cells(result):
+        get = lambda variant: result[f"{app}/{cores}/{variant}"]
+        base, base_lb = get("base"), get("base_lb")
+        nolb, lb, bg_alone = get("nolb"), get("lb"), get("bg_alone")
+        rows.append(
+            (
+                app,
+                cores,
+                percent_increase(nolb.app_time, base.app_time),
+                percent_increase(lb.app_time, base_lb.app_time),
+                percent_increase(nolb.bg_time, bg_alone.app_time),
+                percent_increase(lb.bg_time, bg_alone.app_time),
+            )
+        )
+    return rows
+
+
+def fig2_table_from_sweep(result: SweepResult) -> str:
+    """The Figure 2 penalty table, regenerated from sweep summaries."""
+    return format_table(
+        ["app", "cores", "noLB %", "LB %", "BG noLB %", "BG LB %"],
+        fig2_rows_from_sweep(result),
+        title="Figure 2 — timing penalty vs. interference (percent, via sweep)",
+    )
+
+
+def fig4_rows_from_sweep(result: SweepResult) -> List[Tuple[str, int, float, float, float, float]]:
+    """Figure 4 rows ``(app, cores, noLB W, LB W, noLB energy %, LB energy %)``."""
+    rows = []
+    for app, cores in _fig2_cells(result):
+        get = lambda variant: result[f"{app}/{cores}/{variant}"]
+        base, base_lb = get("base"), get("base_lb")
+        nolb, lb = get("nolb"), get("lb")
+        rows.append(
+            (
+                app,
+                cores,
+                nolb.avg_power_w,
+                lb.avg_power_w,
+                percent_increase(nolb.energy_j, base.energy_j),
+                percent_increase(lb.energy_j, base_lb.energy_j),
+            )
+        )
+    return rows
+
+
+def fig4_table_from_sweep(result: SweepResult) -> str:
+    """The Figure 4 power/energy table, regenerated from sweep summaries."""
+    return format_table(
+        ["app", "cores", "noLB power W", "LB power W", "noLB energy %", "LB energy %"],
+        fig4_rows_from_sweep(result),
+        title="Figure 4 — power draw and energy overhead (via sweep)",
+    )
+
+
+# ---------------------------------------------------------------------------
+# ablations
+# ---------------------------------------------------------------------------
+
+#: The ABL-* interference setup (mirrors benchmarks/ablation_common.py).
+_ABLATION_BASE: Dict[str, object] = {
+    "app": "jacobi2d",
+    "cores": 16,
+    "scale": 0.5,
+    "iterations": 100,
+    "bg": True,
+    "balancer": "refine-vm",
+    "lb_period": 5,
+    "bg_weight": 1.0,
+}
+
+
+def ablation_epsilon_spec(
+    epsilons: Sequence[float] = (0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0),
+    **base_overrides: object,
+) -> SweepSpec:
+    """ABL-EPS: the Eq. (3) slack ε vs run time and migration churn."""
+    return SweepSpec(
+        name="ablation_epsilon",
+        base={**_ABLATION_BASE, **base_overrides},
+        axes={"epsilon": list(epsilons)},
+    )
+
+
+def ablation_period_spec(
+    periods: Sequence[int] = (2, 5, 10, 25, 50),
+    **base_overrides: object,
+) -> SweepSpec:
+    """ABL-PERIOD: the balancing cadence vs reaction time and overhead."""
+    return SweepSpec(
+        name="ablation_period",
+        base={**_ABLATION_BASE, **base_overrides},
+        axes={"lb_period": list(periods)},
+    )
+
+
+def smoke_spec() -> SweepSpec:
+    """A 4-scenario sweep small enough for CI (seconds, not minutes)."""
+    return SweepSpec(
+        name="smoke",
+        base={"app": "jacobi2d", "scale": 0.05, "iterations": 10, "bg": True},
+        axes={"cores": [4, 8], "balancer": ["none", "refine-vm"]},
+    )

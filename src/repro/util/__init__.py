@@ -13,7 +13,7 @@ from repro.util.validation import (
     check_positive,
     check_type,
 )
-from repro.util.rng import resolve_rng
+from repro.util.rng import derive_seed, resolve_rng
 from repro.util.log import get_logger
 
 __all__ = [
@@ -22,6 +22,7 @@ __all__ = [
     "check_non_negative",
     "check_positive",
     "check_type",
+    "derive_seed",
     "resolve_rng",
     "get_logger",
 ]

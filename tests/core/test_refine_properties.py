@@ -1,0 +1,211 @@
+"""Property tests for the refinement/greedy balancer invariants.
+
+The paper's scheme rests on three guarantees (Eq. 1-3 and Algorithm 1's
+line-12 constraint), enforced here over randomized LB databases for both
+the interference-aware refiner (:class:`RefineVMInterferenceLB`), the
+classic task-only refiner (:class:`RefineLB`), and the greedy baseline:
+
+1. **No receiver overload** — a core that receives work never ends above
+   ``T_avg + ε`` under the balancer's own load model (Eq. 3);
+2. **Conservation** — no chare is ever lost or duplicated, and total
+   load is invariant under migration;
+3. **Non-migratable work stays put** — background load O_p (another
+   tenant's VM) is never moved: migrations only ever name chares that
+   exist in the view, and each core keeps its bg_load.
+
+Unlike ``test_properties.py`` (which probes Algorithm 1 on homogeneous
+per-core arrays), the views here are adversarial: shared chare-array
+names across cores, zero-cost tasks, all-background cores, and empty
+cores — the shapes a production LB database actually produces.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import GreedyLB, RefineLB, RefineVMInterferenceLB
+from repro.core.database import (
+    CoreLoad,
+    LBView,
+    TaskRecord,
+    validate_migrations,
+)
+
+task_times = st.one_of(
+    st.just(0.0),  # zero-cost tasks must never be migrated by refinement
+    st.floats(min_value=1e-6, max_value=25.0, allow_nan=False),
+)
+bg_loads = st.one_of(
+    st.just(0.0), st.floats(min_value=0.0, max_value=50.0, allow_nan=False)
+)
+epsilons = st.floats(min_value=0.01, max_value=0.75, allow_nan=False)
+
+
+@st.composite
+def lb_views(draw):
+    """Randomized LB database snapshots with adversarial structure."""
+    n_cores = draw(st.integers(min_value=1, max_value=10))
+    n_tasks = draw(st.integers(min_value=0, max_value=24))
+    # one shared chare array, tasks scattered arbitrarily over the cores
+    placement = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=n_cores - 1),
+            min_size=n_tasks,
+            max_size=n_tasks,
+        )
+    )
+    times = draw(
+        st.lists(task_times, min_size=n_tasks, max_size=n_tasks)
+    )
+    per_core = {cid: [] for cid in range(n_cores)}
+    for i, (cid, t) in enumerate(zip(placement, times)):
+        per_core[cid].append(
+            TaskRecord(chare=("work", i), cpu_time=t, state_bytes=128.0)
+        )
+    cores = tuple(
+        CoreLoad(
+            core_id=cid,
+            tasks=tuple(per_core[cid]),
+            bg_load=draw(bg_loads),
+        )
+        for cid in range(n_cores)
+    )
+    return LBView(cores=cores, window=50.0)
+
+
+def apply_migrations(view, migrations):
+    """mapping + per-core (task_load, bg_load) after the decision."""
+    mapping = view.task_map()
+    times = {t.chare: t.cpu_time for c in view.cores for t in c.tasks}
+    task_load = {c.core_id: c.task_time for c in view.cores}
+    bg = {c.core_id: c.bg_load for c in view.cores}
+    for m in migrations:
+        mapping[m.chare] = m.dst
+        task_load[m.src] -= times[m.chare]
+        task_load[m.dst] += times[m.chare]
+    return mapping, task_load, bg
+
+
+# ---------------------------------------------------------------------------
+# 1. receiver overload (Eq. 3)
+# ---------------------------------------------------------------------------
+
+
+@given(lb_views(), epsilons)
+@settings(max_examples=300, deadline=None)
+def test_aware_refiner_never_overloads_a_receiver(view, eps):
+    lb = RefineVMInterferenceLB(eps)
+    migrations = lb.decide(view)
+    _, task_load, bg = apply_migrations(view, migrations)
+    t_avg = view.t_avg  # Eq. (1): includes O_p
+    for cid in {m.dst for m in migrations}:
+        assert task_load[cid] + bg[cid] <= t_avg + eps * t_avg + 1e-9
+
+
+@given(lb_views(), epsilons)
+@settings(max_examples=300, deadline=None)
+def test_oblivious_refiner_never_overloads_under_its_own_model(view, eps):
+    """RefineLB ignores O_p, so Eq. 3 holds w.r.t. the task-only average."""
+    lb = RefineLB(eps)
+    migrations = lb.decide(view)
+    _, task_load, _ = apply_migrations(view, migrations)
+    n = len(view.cores)
+    t_avg = sum(c.task_time for c in view.cores) / n
+    for cid in {m.dst for m in migrations}:
+        assert task_load[cid] <= t_avg + eps * t_avg + 1e-9
+
+
+@given(lb_views(), epsilons)
+@settings(max_examples=200, deadline=None)
+def test_aware_refiner_with_absolute_epsilon_respects_bound(view, eps):
+    lb = RefineVMInterferenceLB(eps, absolute_epsilon=True)
+    migrations = lb.decide(view)
+    _, task_load, bg = apply_migrations(view, migrations)
+    t_avg = view.t_avg
+    for cid in {m.dst for m in migrations}:
+        assert task_load[cid] + bg[cid] <= t_avg + eps + 1e-9
+
+
+# ---------------------------------------------------------------------------
+# 2. conservation
+# ---------------------------------------------------------------------------
+
+
+@given(lb_views(), epsilons, st.sampled_from(["refine-vm", "refine", "greedy", "greedy-aware"]))
+@settings(max_examples=300, deadline=None)
+def test_no_chare_is_lost_or_duplicated(view, eps, which):
+    lb = {
+        "refine-vm": lambda: RefineVMInterferenceLB(eps),
+        "refine": lambda: RefineLB(eps),
+        "greedy": lambda: GreedyLB(),
+        "greedy-aware": lambda: GreedyLB(aware=True),
+    }[which]()
+    migrations = lb.decide(view)
+    validate_migrations(view, migrations)  # src correct, no double moves
+    mapping, task_load, bg = apply_migrations(view, migrations)
+    before = {t.chare for c in view.cores for t in c.tasks}
+    assert set(mapping) == before
+    valid_cores = {c.core_id for c in view.cores}
+    assert set(mapping.values()) <= valid_cores
+    total_before = sum(c.total_load for c in view.cores)
+    total_after = sum(task_load.values()) + sum(bg.values())
+    assert abs(total_before - total_after) < 1e-6
+
+
+# ---------------------------------------------------------------------------
+# 3. non-migratable work stays put
+# ---------------------------------------------------------------------------
+
+
+@given(lb_views(), epsilons)
+@settings(max_examples=300, deadline=None)
+def test_background_load_is_never_migrated(view, eps):
+    """O_p belongs to another tenant: every migration names a real chare
+    and each core's bg_load is untouched by the decision."""
+    chares = {t.chare for c in view.cores for t in c.tasks}
+    for lb in (RefineVMInterferenceLB(eps), RefineLB(eps), GreedyLB(aware=True)):
+        migrations = lb.decide(view)
+        assert all(m.chare in chares for m in migrations)
+        _, _, bg = apply_migrations(view, migrations)
+        assert bg == {c.core_id: c.bg_load for c in view.cores}
+
+
+@given(lb_views(), epsilons)
+@settings(max_examples=200, deadline=None)
+def test_refiners_never_move_zero_cost_tasks(view, eps):
+    """Moving a zero-cost task cannot reduce imbalance — only churn."""
+    zero = {
+        t.chare for c in view.cores for t in c.tasks if t.cpu_time == 0.0
+    }
+    for lb in (RefineVMInterferenceLB(eps), RefineLB(eps)):
+        for m in lb.decide(view):
+            assert m.chare not in zero
+
+
+@given(st.integers(min_value=1, max_value=8), bg_loads, epsilons)
+@settings(max_examples=100, deadline=None)
+def test_pure_background_views_produce_no_migrations(n_cores, bg, eps):
+    """With no application tasks there is nothing migratable at all."""
+    view = LBView(
+        cores=tuple(
+            CoreLoad(core_id=cid, tasks=(), bg_load=bg * (cid + 1))
+            for cid in range(n_cores)
+        ),
+        window=10.0,
+    )
+    for lb in (RefineVMInterferenceLB(eps), RefineLB(eps), GreedyLB(aware=True)):
+        assert lb.decide(view) == []
+
+
+# ---------------------------------------------------------------------------
+# determinism (the sweep engine relies on it)
+# ---------------------------------------------------------------------------
+
+
+@given(lb_views(), epsilons)
+@settings(max_examples=150, deadline=None)
+def test_fresh_instances_decide_identically(view, eps):
+    """Balancer decisions depend only on the view — never on instance
+    history — so sweep workers can build them independently."""
+    assert RefineVMInterferenceLB(eps).decide(view) == RefineVMInterferenceLB(eps).decide(view)
+    assert RefineLB(eps).decide(view) == RefineLB(eps).decide(view)
+    assert GreedyLB().decide(view) == GreedyLB().decide(view)

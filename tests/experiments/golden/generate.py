@@ -1,0 +1,58 @@
+"""Regenerate the golden sweep summaries pinned by ``test_golden.py``.
+
+Run from the repository root after an *intentional* behaviour change::
+
+    PYTHONPATH=src python tests/experiments/golden/generate.py
+
+Each golden file pins one canonical Figure 2/4 cell (app on 8 cores at
+scale 0.5, 50 iterations, seed 0): the five per-variant scenario
+summaries plus the derived penalty and energy rows. The simulator is
+deterministic, so any diff here is a real behaviour change — review it
+like one.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+GOLDEN_DIR = Path(__file__).resolve().parent
+
+#: The canonical cells: cheap enough for CI, rich enough to exercise the
+#: balancer (mol3d also covers internal imbalance + bg weight 4).
+CELLS = (("jacobi2d", 8), ("wave2d", 8), ("mol3d", 8))
+SCALE = 0.5
+ITERATIONS = 50
+
+
+def generate():
+    from repro.experiments.sweep import run_sweep
+    from repro.experiments.sweep_presets import (
+        fig2_rows_from_sweep,
+        fig2_sweep_spec,
+        fig4_rows_from_sweep,
+    )
+
+    for app, cores in CELLS:
+        spec = fig2_sweep_spec(
+            apps=[app], core_counts=[cores], scale=SCALE, iterations=ITERATIONS
+        )
+        result = run_sweep(spec)
+        golden = {
+            "app": app,
+            "cores": cores,
+            "scale": SCALE,
+            "iterations": ITERATIONS,
+            "summaries": {
+                r.label.split("/")[-1]: r.summary.to_dict()
+                for r in result.results
+            },
+            "fig2_row": list(fig2_rows_from_sweep(result)[0]),
+            "fig4_row": list(fig4_rows_from_sweep(result)[0]),
+        }
+        path = GOLDEN_DIR / f"fig2_fig4_{app}_{cores}.json"
+        path.write_text(json.dumps(golden, indent=1, sort_keys=True) + "\n")
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    sys.exit(generate())

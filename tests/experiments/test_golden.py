@@ -1,0 +1,90 @@
+"""Golden regression tests pinning the headline Figure 2/4 numbers.
+
+Three canonical cells (jacobi2d / wave2d / mol3d on 8 cores, fixed seed)
+were serialized into ``golden/`` by ``golden/generate.py``. The
+simulator is deterministic, so these must reproduce within a tight
+tolerance on any machine; a mismatch means the reproduction's behaviour
+changed. If the change is intentional, regenerate the files (see
+``golden/generate.py``) and review the diff like a result change.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.sweep import run_sweep
+from repro.experiments.sweep_presets import (
+    fig2_rows_from_sweep,
+    fig2_sweep_spec,
+    fig4_rows_from_sweep,
+)
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+GOLDEN_FILES = sorted(GOLDEN_DIR.glob("fig2_fig4_*.json"))
+
+#: Relative tolerance for pinned floats. The simulation itself is exact;
+#: the slack only absorbs float libm differences across platforms.
+RTOL = 1e-9
+
+pytestmark = pytest.mark.skipif(
+    not GOLDEN_FILES, reason="no golden files generated"
+)
+
+
+def _result_for(golden):
+    spec = fig2_sweep_spec(
+        apps=[golden["app"]],
+        core_counts=[golden["cores"]],
+        scale=golden["scale"],
+        iterations=golden["iterations"],
+    )
+    return run_sweep(spec)
+
+
+@pytest.fixture(scope="module", params=GOLDEN_FILES, ids=lambda p: p.stem)
+def pinned(request):
+    golden = json.loads(request.param.read_text())
+    return golden, _result_for(golden)
+
+
+def test_three_canonical_cells_are_pinned():
+    assert len(GOLDEN_FILES) == 3
+
+
+def test_scenario_summaries_match_golden(pinned):
+    golden, result = pinned
+    for variant, expected in golden["summaries"].items():
+        label = f"{golden['app']}/{golden['cores']}/{variant}"
+        actual = result[label].to_dict()
+        assert set(actual) == set(expected), variant
+        for field, want in expected.items():
+            got = actual[field]
+            if isinstance(want, float):
+                assert got == pytest.approx(want, rel=RTOL), (variant, field)
+            else:
+                assert got == want, (variant, field)
+
+
+def test_fig2_penalty_row_matches_golden(pinned):
+    golden, result = pinned
+    (row,) = fig2_rows_from_sweep(result)
+    want = golden["fig2_row"]
+    assert row[0] == want[0] and row[1] == want[1]
+    assert list(row[2:]) == pytest.approx(want[2:], rel=1e-6)
+
+
+def test_fig4_energy_row_matches_golden(pinned):
+    golden, result = pinned
+    (row,) = fig4_rows_from_sweep(result)
+    want = golden["fig4_row"]
+    assert row[0] == want[0] and row[1] == want[1]
+    assert list(row[2:]) == pytest.approx(want[2:], rel=1e-6)
+
+
+def test_lb_still_beats_nolb_in_every_pinned_cell(pinned):
+    """The paper's directional claim holds in the pinned cells: the
+    interference-aware balancer cuts the timing penalty."""
+    golden, _ = pinned
+    _, _, nolb, lb, _, _ = golden["fig2_row"]
+    assert lb < nolb

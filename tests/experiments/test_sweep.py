@@ -1,0 +1,305 @@
+"""Unit tests for the sweep engine: specs, cache, progress, execution."""
+
+import json
+
+import pytest
+
+from repro.experiments.cache import (
+    CACHE_FORMAT,
+    ResultCache,
+    code_fingerprint,
+    point_key,
+)
+from repro.experiments.progress import EventLog
+from repro.experiments.sweep import (
+    PARAM_DEFAULTS,
+    ScenarioSummary,
+    SweepSpec,
+    build_scenario,
+    normalize_params,
+    run_point,
+    run_sweep,
+)
+
+#: Cheap scenario base every test here sweeps around (sub-second runs).
+TINY = {"app": "jacobi2d", "scale": 0.05, "iterations": 5, "cores": 4}
+
+
+# ---------------------------------------------------------------------------
+# parameter normalisation
+# ---------------------------------------------------------------------------
+
+
+class TestNormalizeParams:
+    def test_defaults_are_filled_and_sorted(self):
+        p = normalize_params({})
+        assert set(p) == set(PARAM_DEFAULTS)
+        assert list(p) == sorted(p)
+
+    def test_explicit_defaults_hash_like_implicit(self):
+        implicit = normalize_params({"app": "wave2d"})
+        explicit = normalize_params({"app": "wave2d", "cores": 8, "epsilon": 0.05})
+        assert point_key(implicit) == point_key(explicit)
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown scenario parameter"):
+            normalize_params({"grid": 64})
+
+    def test_unknown_app_and_balancer_rejected(self):
+        with pytest.raises(ValueError, match="unknown app"):
+            normalize_params({"app": "linpack"})
+        with pytest.raises(ValueError, match="unknown balancer"):
+            normalize_params({"balancer": "magic"})
+
+    def test_none_balancer_aliases_to_none_string(self):
+        assert normalize_params({"balancer": None})["balancer"] == "none"
+
+    def test_auto_seed_is_deterministic_and_content_dependent(self):
+        a = normalize_params({**TINY, "seed": "auto"})
+        b = normalize_params({**TINY, "seed": "auto"})
+        c = normalize_params({**TINY, "cores": 8, "seed": "auto"})
+        assert a["seed"] == b["seed"]
+        assert a["seed"] != c["seed"]
+
+
+# ---------------------------------------------------------------------------
+# spec expansion
+# ---------------------------------------------------------------------------
+
+
+class TestSweepSpec:
+    def test_cartesian_expansion_order(self):
+        spec = SweepSpec(
+            name="s",
+            base=TINY,
+            axes={"cores": [4, 8], "balancer": ["none", "refine-vm"]},
+        )
+        labels = [p.label for p in spec.expand()]
+        assert labels == [
+            "cores=4,balancer=none",
+            "cores=4,balancer=refine-vm",
+            "cores=8,balancer=none",
+            "cores=8,balancer=refine-vm",
+        ]
+
+    def test_explicit_points_and_labels(self):
+        spec = SweepSpec(
+            name="s",
+            base=TINY,
+            points=({"label": "a", "cores": 4}, {"cores": 8}),
+        )
+        points = spec.expand()
+        assert [p.label for p in points] == ["a", "cores=8"]
+        assert points[0].params["cores"] == 4
+
+    def test_bare_base_is_one_point(self):
+        assert len(SweepSpec(name="s", base=TINY).expand()) == 1
+
+    def test_duplicate_labels_are_disambiguated(self):
+        spec = SweepSpec(
+            name="s", base=TINY, points=({"label": "x"}, {"label": "x"})
+        )
+        assert [p.label for p in spec.expand()] == ["x", "x#1"]
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(ValueError, match="unknown sweep axis"):
+            SweepSpec(name="s", axes={"gridsize": [1]})
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError, match="has no values"):
+            SweepSpec(name="s", axes={"cores": []})
+
+    def test_json_round_trip(self, tmp_path):
+        spec = SweepSpec(
+            name="rt", base=TINY, axes={"cores": [4, 8]}, points=({"seed": 1},)
+        )
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(spec.to_dict()))
+        loaded = SweepSpec.from_file(path)
+        assert loaded == spec
+
+    def test_from_dict_rejects_garbage(self):
+        with pytest.raises(ValueError, match="needs a 'name'"):
+            SweepSpec.from_dict({})
+        with pytest.raises(ValueError, match="unknown sweep spec key"):
+            SweepSpec.from_dict({"name": "s", "grid": {}})
+
+
+# ---------------------------------------------------------------------------
+# scenario building
+# ---------------------------------------------------------------------------
+
+
+class TestBuildScenario:
+    def test_balancer_selection(self):
+        from repro.core import GreedyLB, RefineLB, RefineVMInterferenceLB
+
+        assert build_scenario({**TINY}).balancer is None
+        sc = build_scenario({**TINY, "balancer": "refine-vm", "epsilon": 0.1})
+        assert isinstance(sc.balancer, RefineVMInterferenceLB)
+        assert sc.balancer.epsilon == 0.1
+        assert isinstance(
+            build_scenario({**TINY, "balancer": "refine"}).balancer, RefineLB
+        )
+        aware = build_scenario({**TINY, "balancer": "greedy-aware"}).balancer
+        assert isinstance(aware, GreedyLB) and aware.aware
+
+    def test_background_spec_sized_to_outlast_app(self):
+        sc = build_scenario({**TINY, "bg": True})
+        assert sc.bg is not None
+        assert sc.bg.core_ids == (0, 1)
+        assert sc.bg.iterations >= 1
+
+    def test_fresh_objects_per_call(self):
+        params = {**TINY, "balancer": "refine-vm"}
+        a, b = build_scenario(params), build_scenario(params)
+        assert a.balancer is not b.balancer
+        assert a.app is not b.app
+
+
+# ---------------------------------------------------------------------------
+# cache
+# ---------------------------------------------------------------------------
+
+
+class TestResultCache:
+    def test_miss_then_hit_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        params = normalize_params(TINY)
+        key = point_key(params)
+        assert cache.get(key) is None
+        summary = run_point(params)
+        cache.put(key, params, summary.to_dict())
+        assert len(cache) == 1
+        assert ScenarioSummary.from_dict(cache.get(key)) == summary
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = point_key(normalize_params(TINY))
+        cache.put(key, {}, {"bogus": 1})
+        path = cache._path(key)
+        path.write_text("{not json")
+        assert cache.get(key) is None
+
+    def test_wrong_key_or_format_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = point_key(normalize_params(TINY))
+        path = cache._path(key)
+        path.parent.mkdir(parents=True)
+        path.write_text(
+            json.dumps({"format": CACHE_FORMAT + 1, "key": key, "summary": {}})
+        )
+        assert cache.get(key) is None
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("ab" + "0" * 62, {}, {"x": 1})
+        assert cache.clear() == 1
+        assert len(cache) == 0
+
+    def test_key_depends_on_params_and_code(self):
+        a = point_key(normalize_params(TINY))
+        b = point_key(normalize_params({**TINY, "cores": 8}))
+        assert a != b
+        assert point_key(normalize_params(TINY), fingerprint="deadbeef") != a
+
+    def test_code_fingerprint_is_stable_hex(self):
+        fp = code_fingerprint()
+        assert fp == code_fingerprint()
+        int(fp, 16)
+        assert len(fp) == 64
+
+
+# ---------------------------------------------------------------------------
+# execution + metrics + events
+# ---------------------------------------------------------------------------
+
+
+def tiny_spec(**base_overrides):
+    return SweepSpec(
+        name="tiny",
+        base={**TINY, **base_overrides},
+        axes={"cores": [2, 4], "balancer": ["none", "refine-vm"]},
+    )
+
+
+class TestRunSweep:
+    def test_cold_run_executes_everything(self, tmp_path):
+        res = run_sweep(tiny_spec(), cache=ResultCache(tmp_path))
+        assert res.metrics.points == 4
+        assert res.metrics.executed == 4
+        assert res.metrics.cache_hits == 0
+        assert res.metrics.hit_rate == 0.0
+        assert all(not r.cached and r.wall_s > 0 for r in res.results)
+
+    def test_second_run_is_pure_cache_hit_and_identical(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cold = run_sweep(tiny_spec(), cache=cache)
+        warm = run_sweep(tiny_spec(), cache=cache)
+        assert warm.metrics.hit_rate == 1.0
+        assert warm.metrics.executed == 0
+        assert warm.summaries() == cold.summaries()
+        # a warm run must be drastically cheaper than the cold one
+        assert warm.metrics.elapsed_s < cold.metrics.elapsed_s * 0.5
+
+    def test_no_cache_always_executes(self):
+        res = run_sweep(tiny_spec())
+        again = run_sweep(tiny_spec())
+        assert res.metrics.executed == again.metrics.executed == 4
+        assert res.summaries() == again.summaries()
+
+    def test_results_keep_spec_order(self, tmp_path):
+        spec = tiny_spec()
+        res = run_sweep(spec, cache=ResultCache(tmp_path))
+        assert [r.label for r in res.results] == [p.label for p in spec.expand()]
+        assert [r.index for r in res.results] == [0, 1, 2, 3]
+
+    def test_event_stream_structure(self):
+        log = EventLog()
+        run_sweep(tiny_spec(), log=log)
+        assert [e["event"] for e in log.events[:1]] == ["sweep_start"]
+        assert log.events[-1]["event"] == "sweep_done"
+        assert len(log.of_type("point_start")) == 4
+        done = log.of_type("point_done")
+        assert len(done) == 4
+        assert all(set(d) >= {"label", "key", "cached", "wall_s", "worker"} for d in done)
+        assert log.events[-1]["points"] == 4
+
+    def test_jsonl_mirror_is_parseable(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with open(path, "w") as fh:
+            run_sweep(tiny_spec(), log=EventLog(stream=fh))
+        lines = path.read_text().splitlines()
+        events = [json.loads(line) for line in lines]
+        assert events[0]["event"] == "sweep_start"
+        assert events[-1]["event"] == "sweep_done"
+        assert events[-1]["hit_rate"] == 0.0
+
+    def test_invalid_workers_rejected(self):
+        with pytest.raises(ValueError, match="workers"):
+            run_sweep(tiny_spec(), workers=0)
+
+    def test_getitem_and_missing_label(self):
+        res = run_sweep(SweepSpec(name="one", base=TINY))
+        assert res["point0"].app_time > 0
+        with pytest.raises(KeyError):
+            res["nope"]
+
+    def test_text_report_mentions_hits_and_utilization(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_sweep(tiny_spec(), cache=cache)
+        warm = run_sweep(tiny_spec(), cache=cache)
+        text = warm.text()
+        assert "cache_hits=4 (100%)" in text
+        assert "hit" in text
+
+
+class TestSummaryRoundTrip:
+    def test_json_round_trip_is_exact(self):
+        summary = run_point(normalize_params(TINY))
+        blob = json.dumps(summary.to_dict())
+        assert ScenarioSummary.from_dict(json.loads(blob)) == summary
+
+    def test_bg_time_present_only_with_background(self):
+        assert run_point({**TINY}).bg_time is None
+        assert run_point({**TINY, "bg": True}).bg_time > 0

@@ -84,3 +84,78 @@ def test_headline_exit_code_reflects_claim(capsys):
 def test_unknown_app_rejected():
     with pytest.raises(SystemExit):
         main(["demo", "--app", "linpack"])
+
+
+def test_sweep_requires_spec_or_preset():
+    with pytest.raises(SystemExit):
+        main(["sweep"])
+
+
+def test_sweep_smoke_preset_with_cache_and_jsonl(tmp_path, capsys):
+    import json
+
+    cache_dir = tmp_path / "cache"
+    jsonl = tmp_path / "events.jsonl"
+    args = [
+        "sweep", "--preset", "smoke",
+        "--cache-dir", str(cache_dir),
+        "--jsonl", str(jsonl),
+        "--output", str(tmp_path),
+    ]
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    assert "sweep smoke — 4 scenarios" in out
+    assert "cache_hits=0" in out
+    assert (tmp_path / "sweep_smoke.txt").exists()
+    events = [json.loads(l) for l in jsonl.read_text().splitlines()]
+    assert events[0]["event"] == "sweep_start"
+    assert events[-1]["event"] == "sweep_done"
+
+    # second run: pure cache hit
+    assert main(args) == 0
+    assert "cache_hits=4 (100%)" in capsys.readouterr().out
+
+
+def test_sweep_from_spec_file_with_workers(tmp_path, capsys):
+    import json
+
+    spec = {
+        "name": "filespec",
+        "base": {"app": "jacobi2d", "scale": 0.05, "iterations": 5},
+        "axes": {"cores": [2, 4]},
+    }
+    path = tmp_path / "spec.json"
+    path.write_text(json.dumps(spec))
+    rc = main(
+        ["sweep", "--spec", str(path), "--workers", "2", "--no-cache"]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "sweep filespec — 2 scenarios" in out
+    assert "workers=2" in out
+
+
+def test_sweep_bad_spec_is_a_clean_error(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text('{"name": "x", "base": {"frobnicate": 3}}')
+    assert main(["sweep", "--spec", str(bad)]) == 2
+    err = capsys.readouterr().err
+    assert "repro sweep: error:" in err
+    assert "frobnicate" in err
+
+    assert main(["sweep", "--spec", str(tmp_path / "nope.json")]) == 2
+    assert "repro sweep: error:" in capsys.readouterr().err
+
+    assert main(["sweep", "--preset", "smoke", "--workers", "0"]) == 2
+    assert "--workers must be >= 1" in capsys.readouterr().err
+
+
+def test_sweep_fig2_preset_emits_penalty_and_energy_tables(capsys):
+    rc = main(
+        ["sweep", "--preset", "fig2", "--apps", "jacobi2d", "--cores", "4",
+         "--scale", "0.05", "--iterations", "5", "--no-cache"]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "Figure 2 — timing penalty vs. interference (percent, via sweep)" in out
+    assert "Figure 4 — power draw and energy overhead (via sweep)" in out
