@@ -31,6 +31,7 @@ from repro.runtime.chare import ChareArray
 from repro.runtime.commgraph import CommGraph
 from repro.runtime.runtime import Runtime
 from repro.sim.engine import SimulationEngine
+from repro.telemetry import Telemetry
 
 __all__ = ["AppModel", "CORE_SPEED_FLOPS"]
 
@@ -87,12 +88,14 @@ class AppModel(abc.ABC):
         tracing: bool = False,
         run_kernels: bool = False,
         use_comm_graph: bool = False,
+        telemetry: Optional["Telemetry"] = None,
     ) -> Runtime:
         """Build a ready-to-start :class:`Runtime` for this application.
 
         ``use_comm_graph=True`` switches communication modelling from the
         flat per-core volume to the placement-dependent graph (the app
-        must implement :meth:`comm_graph`).
+        must implement :meth:`comm_graph`). ``telemetry`` is forwarded to
+        the :class:`Runtime` unchanged.
         """
         graph = None
         if use_comm_graph:
@@ -114,6 +117,7 @@ class AppModel(abc.ABC):
             comm_graph=graph,
             tracing=tracing,
             run_kernels=run_kernels,
+            telemetry=telemetry,
         )
         rt.register_array(self.build_array(len(core_ids)))
         return rt

@@ -43,6 +43,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--version", action="version", version=f"repro {__version__}"
     )
+    parser.add_argument(
+        "--log-level",
+        choices=["debug", "info", "warning", "error"],
+        default=None,
+        help="enable diagnostic logging at this level (default: off)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_common(p, iterations_default=200):
@@ -164,8 +170,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="append structured progress events to FILE as JSON lines",
     )
     psw.add_argument(
+        "--audit", type=Path, default=None, metavar="DIR",
+        help="run with telemetry: write per-point LB audit JSONL (and "
+        "Chrome/Perfetto traces for executed points) into DIR",
+    )
+    psw.add_argument(
         "--output", type=Path, default=None, metavar="DIR",
         help="also write the result table into DIR/sweep_<name>.txt",
+    )
+
+    pin = sub.add_parser(
+        "inspect",
+        help="analyse LB audit trails written by 'sweep --audit'",
+    )
+    pin.add_argument(
+        "path", type=Path, metavar="DIR_OR_FILE",
+        help="audit directory (or one .jsonl file) to analyse",
+    )
+    pin.add_argument(
+        "--json", action="store_true",
+        help="emit the full report as JSON instead of tables",
+    )
+    pin.add_argument(
+        "--top", type=int, default=10, metavar="N",
+        help="how many top migrations to list (default: 10)",
+    )
+    pin.add_argument(
+        "--output", type=Path, default=None, metavar="DIR",
+        help="also write the report into DIR/inspect.txt",
     )
     return parser
 
@@ -320,7 +352,13 @@ def _cmd_sweep(args) -> int:
             args.jsonl.parent.mkdir(parents=True, exist_ok=True)
             jsonl_stream = open(args.jsonl, "a")
         log = EventLog(stream=jsonl_stream)
-        result = run_sweep(spec, workers=args.workers, cache=cache, log=log)
+        result = run_sweep(
+            spec,
+            workers=args.workers,
+            cache=cache,
+            log=log,
+            audit_dir=args.audit,
+        )
     finally:
         if jsonl_stream is not None:
             jsonl_stream.close()
@@ -333,6 +371,30 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _cmd_inspect(args) -> int:
+    import json
+
+    from repro.telemetry.inspect import format_inspect_text, inspect_audit
+
+    if args.top < 0:
+        print(
+            f"repro inspect: error: --top must be >= 0, got {args.top}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        report = inspect_audit(args.path, top=args.top)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"repro inspect: error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        text = json.dumps(report, indent=1, sort_keys=True)
+    else:
+        text = format_inspect_text(report)
+    _emit(text, "inspect", args.output)
+    return 0
+
+
 _COMMANDS = {
     "fig1": _cmd_fig1,
     "fig2": _cmd_fig2,
@@ -341,12 +403,20 @@ _COMMANDS = {
     "headline": _cmd_headline,
     "demo": _cmd_demo,
     "sweep": _cmd_sweep,
+    "inspect": _cmd_inspect,
 }
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    if args.log_level is not None:
+        import logging
+
+        logging.basicConfig(
+            level=getattr(logging, args.log_level.upper()),
+            format="%(levelname)s %(name)s: %(message)s",
+        )
     return _COMMANDS[args.command](args)
 
 

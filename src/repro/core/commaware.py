@@ -24,6 +24,14 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.core.database import ChareKey, TaskRecord
 from repro.core.interference import RefineVMInterferenceLB
+from repro.telemetry.audit import (
+    ACCEPTED,
+    REASON_ACCEPTED,
+    REASON_NO_UNDERLOADED_TARGET,
+    REASON_RECEIVER_WOULD_EXCEED,
+    REASON_ZERO_CPU_TASK,
+    REJECTED,
+)
 
 __all__ = ["CommAwareRefineLB"]
 
@@ -58,9 +66,16 @@ class CommAwareRefineLB(RefineVMInterferenceLB):
         on that receiver, then ascending load, then core id.
         """
         if not underset:
+            self.note_candidate(
+                None, donor, None, None, REJECTED, REASON_NO_UNDERLOADED_TARGET
+            )
             return None
         for task in donor_tasks:
             if task.cpu_time <= 0.0:
+                self.note_candidate(
+                    task.chare, donor, None, task.cpu_time,
+                    REJECTED, REASON_ZERO_CPU_TASK,
+                )
                 break
             feasible = [
                 cid
@@ -68,6 +83,10 @@ class CommAwareRefineLB(RefineVMInterferenceLB):
                 if load[cid] + task.cpu_time - t_avg <= eps
             ]
             if not feasible:
+                self.note_candidate(
+                    task.chare, donor, None, task.cpu_time,
+                    REJECTED, REASON_RECEIVER_WOULD_EXCEED,
+                )
                 continue
             affinity: Dict[int, float] = {cid: 0.0 for cid in feasible}
             if location is not None:
@@ -76,5 +95,9 @@ class CommAwareRefineLB(RefineVMInterferenceLB):
                     if cid in affinity:
                         affinity[cid] += nbytes
             feasible.sort(key=lambda cid: (-affinity[cid], load[cid], cid))
+            self.note_candidate(
+                task.chare, donor, feasible[0], task.cpu_time,
+                ACCEPTED, REASON_ACCEPTED,
+            )
             return task, feasible[0]
         return None

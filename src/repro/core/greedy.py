@@ -19,6 +19,12 @@ from typing import List
 
 from repro.core.balancer import LoadBalancer
 from repro.core.database import LBView, Migration
+from repro.telemetry.audit import (
+    ACCEPTED,
+    NOTED,
+    REASON_ALREADY_LEAST_LOADED,
+    REASON_GREEDY_LEAST_LOADED,
+)
 
 __all__ = ["GreedyLB"]
 
@@ -57,6 +63,15 @@ class GreedyLB(LoadBalancer):
             if current[task.chare] != cid:
                 migrations.append(
                     Migration(chare=task.chare, src=current[task.chare], dst=cid)
+                )
+                self.note_candidate(
+                    task.chare, current[task.chare], cid, task.cpu_time,
+                    ACCEPTED, REASON_GREEDY_LEAST_LOADED,
+                )
+            else:
+                self.note_candidate(
+                    task.chare, cid, cid, task.cpu_time,
+                    NOTED, REASON_ALREADY_LEAST_LOADED,
                 )
             heapq.heappush(heap, (load + task.cpu_time, cid))
         return migrations

@@ -36,6 +36,11 @@ from typing import Callable, Dict, List, Optional
 from repro.core.balancer import LoadBalancer
 from repro.core.database import ChareKey, LBView, Migration
 from repro.core.interference import RefineVMInterferenceLB
+from repro.telemetry.audit import (
+    NOTED,
+    REASON_REDIRECT_INTRA_NODE,
+    REASON_REDIRECT_KEPT_REMOTE,
+)
 
 __all__ = ["HierarchicalLB"]
 
@@ -87,9 +92,19 @@ class HierarchicalLB(LoadBalancer):
             raise ValueError("cores_per_node must be >= 1")
         return cls(lambda cid: cid // cores_per_node, inner=inner)
 
+    def audit_thresholds(self, view: LBView):
+        """Report the deciding (inner) strategy's thresholds."""
+        return self.inner.audit_thresholds(view)
+
     # ------------------------------------------------------------------
     def decide(self, view: LBView) -> List[Migration]:
-        decided = self.inner.balance(view)
+        # lend our audit buffer so the inner strategy's candidate notes
+        # land in this (outer) step's record
+        self._lend_audit_buffer(self.inner)
+        try:
+            decided = self.inner.balance(view)
+        finally:
+            self._reclaim_audit_buffer(self.inner)
         if not decided:
             self.last_intra = self.last_inter = 0
             return []
@@ -125,6 +140,12 @@ class HierarchicalLB(LoadBalancer):
                 ]
                 if candidates:
                     dst = min(candidates, key=lambda cid: (load[cid], cid))
+                self.note_candidate(
+                    m.chare, m.src, dst, task_time, NOTED,
+                    REASON_REDIRECT_INTRA_NODE
+                    if self.group_of(dst) == src_group
+                    else REASON_REDIRECT_KEPT_REMOTE,
+                )
             if self.group_of(dst) == src_group:
                 self.last_intra += 1
             else:

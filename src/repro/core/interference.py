@@ -39,6 +39,14 @@ from typing import Dict, List, Optional, Tuple
 from repro.core.balancer import LoadBalancer
 from repro.core.database import ChareKey, LBView, Migration, TaskRecord
 from repro.core.heaps import MaxHeap
+from repro.telemetry.audit import (
+    ACCEPTED,
+    REASON_ACCEPTED,
+    REASON_NO_UNDERLOADED_TARGET,
+    REASON_RECEIVER_WOULD_EXCEED,
+    REASON_ZERO_CPU_TASK,
+    REJECTED,
+)
 from repro.util import check_non_negative
 
 __all__ = ["RefineVMInterferenceLB"]
@@ -94,6 +102,11 @@ class RefineVMInterferenceLB(LoadBalancer):
 
     def _eps(self, t_avg: float) -> float:
         return self.epsilon if self.absolute_epsilon else self.epsilon * t_avg
+
+    def audit_thresholds(self, view: LBView) -> Tuple[float, Optional[float]]:
+        """The strategy's own load model: Eq. (1) T_avg and resolved ε."""
+        t_avg = self._t_avg(view)
+        return t_avg, self._eps(t_avg)
 
     # ------------------------------------------------------------------
     # Algorithm 1
@@ -193,14 +206,30 @@ class RefineVMInterferenceLB(LoadBalancer):
         receiver choice (e.g. communication awareness) do.
         """
         if not underset:
+            self.note_candidate(
+                None, donor, None, None, REJECTED, REASON_NO_UNDERLOADED_TARGET
+            )
             return None
         candidates = sorted(underset, key=lambda cid: (load[cid], cid))
         for task in donor_tasks:
             if task.cpu_time <= 0.0:
                 # zero-cost tasks can't reduce donor load; moving them only
                 # burns migration bandwidth
+                self.note_candidate(
+                    task.chare, donor, None, task.cpu_time,
+                    REJECTED, REASON_ZERO_CPU_TASK,
+                )
                 break
             for cid in candidates:
                 if load[cid] + task.cpu_time - t_avg <= eps:
+                    self.note_candidate(
+                        task.chare, donor, cid, task.cpu_time,
+                        ACCEPTED, REASON_ACCEPTED,
+                    )
                     return task, cid
+            # every underloaded receiver would be pushed past T_avg + ε
+            self.note_candidate(
+                task.chare, donor, None, task.cpu_time,
+                REJECTED, REASON_RECEIVER_WOULD_EXCEED,
+            )
         return None

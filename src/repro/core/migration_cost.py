@@ -31,6 +31,7 @@ from typing import Dict, List, Sequence
 from repro.cluster.netmodel import NetworkModel
 from repro.core.balancer import LoadBalancer
 from repro.core.database import LBView, Migration
+from repro.telemetry.audit import REASON_GAIN_BELOW_COST, REJECTED
 from repro.util import check_positive
 
 __all__ = ["MigrationCostAwareLB"]
@@ -64,15 +65,29 @@ class MigrationCostAwareLB(LoadBalancer):
         #: count of LB steps whose migrations were suppressed by the gate
         self.suppressed_steps = 0
 
+    def audit_thresholds(self, view: LBView):
+        """Report the deciding (inner) strategy's thresholds."""
+        return self.inner.audit_thresholds(view)
+
     # ------------------------------------------------------------------
     def decide(self, view: LBView) -> List[Migration]:
-        migrations = self.inner.balance(view)
+        self._lend_audit_buffer(self.inner)
+        try:
+            migrations = self.inner.balance(view)
+        finally:
+            self._reclaim_audit_buffer(self.inner)
         if not migrations:
             return []
         gain = self.predicted_gain(view, migrations)
         cost = self.migration_cost(view, migrations)
         if gain < self.safety_factor * cost:
             self.suppressed_steps += 1
+            cpu = {t.chare: t.cpu_time for c in view.cores for t in c.tasks}
+            for m in migrations:
+                self.note_candidate(
+                    m.chare, m.src, m.dst, cpu.get(m.chare),
+                    REJECTED, REASON_GAIN_BELOW_COST,
+                )
             return []
         return migrations
 

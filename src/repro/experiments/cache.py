@@ -106,8 +106,7 @@ class ResultCache:
         # two-level fan-out keeps directories small on big sweeps
         return self.root / key[:2] / f"{key}.json"
 
-    def get(self, key: str) -> Optional[Dict[str, Any]]:
-        """The cached summary dict for ``key``, or None on a miss."""
+    def _entry(self, key: str) -> Optional[Dict[str, Any]]:
         path = self._path(key)
         try:
             with open(path) as fh:
@@ -116,11 +115,42 @@ class ResultCache:
             return None
         if entry.get("format") != CACHE_FORMAT or entry.get("key") != key:
             return None
+        return entry
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The cached summary dict for ``key``, or None on a miss."""
+        entry = self._entry(key)
+        if entry is None:
+            return None
         summary = entry.get("summary")
         return summary if isinstance(summary, dict) else None
 
-    def put(self, key: str, params: Dict[str, Any], summary: Dict[str, Any]) -> None:
-        """Store ``summary`` for ``key`` (atomic; params kept for humans)."""
+    def get_extras(self, key: str) -> Optional[Dict[str, Any]]:
+        """The entry's extras section (e.g. telemetry audit), or None.
+
+        Entries written before extras existed — or without them — simply
+        return None; callers needing extras treat that as a miss.
+        """
+        entry = self._entry(key)
+        if entry is None:
+            return None
+        extras = entry.get("extras")
+        return extras if isinstance(extras, dict) else None
+
+    def put(
+        self,
+        key: str,
+        params: Dict[str, Any],
+        summary: Dict[str, Any],
+        *,
+        extras: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Store ``summary`` for ``key`` (atomic; params kept for humans).
+
+        ``extras`` carries optional JSON-able side payloads (the telemetry
+        audit section) without touching the summary schema the golden
+        tests pin.
+        """
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         entry = {
@@ -129,6 +159,8 @@ class ResultCache:
             "params": params,
             "summary": summary,
         }
+        if extras is not None:
+            entry["extras"] = extras
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
             with os.fdopen(fd, "w") as fh:

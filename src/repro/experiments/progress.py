@@ -13,6 +13,10 @@ Event vocabulary (all fields JSON scalars):
 * ``point_start`` — ``label``, ``key``
 * ``point_done`` — ``label``, ``key``, ``cached``, ``wall_s``, ``worker``
 * ``sweep_done`` — the :class:`SweepMetrics` fields
+
+Every event carries ``"schema": 1`` (:data:`PROGRESS_SCHEMA`) so log
+consumers can detect vocabulary changes; the number bumps on any
+incompatible change to event names or fields.
 """
 
 from __future__ import annotations
@@ -22,7 +26,10 @@ import time
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, TextIO
 
-__all__ = ["SweepMetrics", "EventLog"]
+__all__ = ["PROGRESS_SCHEMA", "SweepMetrics", "EventLog"]
+
+#: Version stamp on every progress event.
+PROGRESS_SCHEMA = 1
 
 
 @dataclass(frozen=True)
@@ -91,7 +98,11 @@ class EventLog:
 
     def emit(self, event: str, **fields: Any) -> Dict[str, Any]:
         """Record (and optionally write) one event; returns the record."""
-        record = {"event": event, "t": round(time.monotonic() - self._t0, 6)}
+        record = {
+            "schema": PROGRESS_SCHEMA,
+            "event": event,
+            "t": round(time.monotonic() - self._t0, 6),
+        }
         record.update(fields)
         self.events.append(record)
         if self._stream is not None:

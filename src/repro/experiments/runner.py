@@ -23,6 +23,7 @@ from repro.power.model import PowerModel
 from repro.runtime.runtime import RunStats, Runtime
 from repro.runtime.tracing import TraceLog
 from repro.sim.engine import SimulationEngine
+from repro.telemetry import Telemetry
 
 __all__ = ["ExperimentResult", "run_scenario"]
 
@@ -78,8 +79,15 @@ class ExperimentResult:
         return self.energy.average_power_w
 
 
-def run_scenario(scenario: Scenario) -> ExperimentResult:
-    """Execute ``scenario`` on a fresh simulated cluster."""
+def run_scenario(
+    scenario: Scenario, *, telemetry: Optional[Telemetry] = None
+) -> ExperimentResult:
+    """Execute ``scenario`` on a fresh simulated cluster.
+
+    ``telemetry`` (optional) is attached to the *application* runtime: it
+    collects per-LB-step audit records and run metrics without affecting
+    the simulation (results are bit-identical with or without it).
+    """
     engine = SimulationEngine()
     cluster = Cluster(
         engine,
@@ -97,6 +105,7 @@ def run_scenario(scenario: Scenario) -> ExperimentResult:
         policy=scenario.policy,
         tracing=scenario.tracing,
         use_comm_graph=scenario.use_comm_graph,
+        telemetry=telemetry,
     )
 
     bg_rt: Optional[Runtime] = None

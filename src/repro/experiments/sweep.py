@@ -51,9 +51,10 @@ from __future__ import annotations
 import itertools
 import math
 import os
+import re
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import (
     Any,
@@ -81,7 +82,10 @@ from repro.experiments.progress import EventLog, SweepMetrics
 from repro.experiments.runner import ExperimentResult, run_scenario
 from repro.experiments.scenario import BackgroundSpec, Scenario
 from repro.experiments.tables import format_table
-from repro.util import derive_seed
+from repro.projections.export import write_chrome_trace
+from repro.runtime.tracing import TraceLog
+from repro.telemetry import Telemetry, audit_summary, write_audit_jsonl
+from repro.util import derive_seed, get_logger
 
 __all__ = [
     "PARAM_DEFAULTS",
@@ -91,12 +95,15 @@ __all__ = [
     "ScenarioSummary",
     "summarize_result",
     "run_point",
+    "run_point_audited",
     "SweepPoint",
     "SweepSpec",
     "PointResult",
     "SweepResult",
     "run_sweep",
 ]
+
+_log = get_logger(__name__)
 
 #: Default value of every scenario parameter (the normalised form always
 #: carries every key, so cache keys never shift when defaults are spelled
@@ -345,6 +352,24 @@ def run_point(params: Mapping[str, Any]) -> ScenarioSummary:
     return summarize_result(run_scenario(build_scenario(params)))
 
 
+def run_point_audited(
+    params: Mapping[str, Any],
+) -> Tuple[ScenarioSummary, List[Dict[str, Any]], TraceLog]:
+    """Execute one point with telemetry attached.
+
+    Returns ``(summary, audit_records, trace)``. The summary is
+    bit-identical to :func:`run_point`'s — telemetry and tracing are
+    strictly observational — so audited and plain runs share cache
+    entries. The audit records carry only simulated quantities and are
+    therefore deterministic across serial/parallel/warm-cache execution;
+    the trace feeds the Chrome/Perfetto export.
+    """
+    telemetry = Telemetry()
+    scenario = replace(build_scenario(params), tracing=True)
+    result = run_scenario(scenario, telemetry=telemetry)
+    return summarize_result(result), telemetry.audit.records, result.trace
+
+
 def _execute_point(payload: Tuple[int, Dict[str, Any]]) -> Tuple[int, Dict[str, Any], float, str]:
     """Worker entry point: run one point, timing it (picklable, top-level)."""
     index, params = payload
@@ -352,6 +377,17 @@ def _execute_point(payload: Tuple[int, Dict[str, Any]]) -> Tuple[int, Dict[str, 
     summary = run_point(params)
     wall = time.perf_counter() - t0
     return index, summary.to_dict(), wall, f"pid:{os.getpid()}"
+
+
+def _execute_point_audited(
+    payload: Tuple[int, Dict[str, Any]],
+) -> Tuple[int, Dict[str, Any], List[Dict[str, Any]], TraceLog, float, str]:
+    """Worker entry point for audited runs (picklable, top-level)."""
+    index, params = payload
+    t0 = time.perf_counter()
+    summary, records, trace = run_point_audited(params)
+    wall = time.perf_counter() - t0
+    return index, summary.to_dict(), records, trace, wall, f"pid:{os.getpid()}"
 
 
 # ---------------------------------------------------------------------------
@@ -475,7 +511,9 @@ class PointResult:
 
     ``wall_s`` is the simulation wall time (0.0 for cache hits);
     ``worker`` identifies where it ran (``main``, ``pid:<n>``, or
-    ``cache``).
+    ``cache``). ``audit`` is the point's deterministic audit summary
+    (see :func:`repro.telemetry.audit_summary`) when the sweep ran with
+    ``audit_dir``, else None.
     """
 
     index: int
@@ -486,6 +524,7 @@ class PointResult:
     cached: bool
     wall_s: float
     worker: str
+    audit: Optional[Dict[str, Any]] = None
 
 
 @dataclass(frozen=True)
@@ -537,12 +576,19 @@ class SweepResult:
         return table + "\n" + footer
 
 
+def _point_slug(label: str) -> str:
+    """Filesystem-safe stem for a point's audit artefacts."""
+    slug = re.sub(r"[^A-Za-z0-9._-]+", "-", label).strip("-")
+    return slug or "point"
+
+
 def run_sweep(
     spec: SweepSpec,
     *,
     workers: int = 1,
     cache: Optional[ResultCache] = None,
     log: Optional[EventLog] = None,
+    audit_dir: Optional[Union[str, Path]] = None,
 ) -> SweepResult:
     """Execute every point of ``spec``; returns ordered results + metrics.
 
@@ -556,21 +602,53 @@ def run_sweep(
         misses are stored after running.
     log:
         Structured event sink (see :mod:`repro.experiments.progress`).
+    audit_dir:
+        When given, every point runs with telemetry attached: its LB
+        audit trail is written to ``<audit_dir>/<index>-<label>.jsonl``
+        (plus a Chrome/Perfetto trace with counter tracks for executed
+        points) and its audit summary is carried on the
+        :class:`PointResult` and cached alongside the summary. Cache hits
+        lacking an audit payload are re-executed; hits carrying one
+        rewrite byte-identical JSONL from the cached records (no trace —
+        traces are only produced by actual execution). Audit records
+        contain only simulated quantities, so their bytes are identical
+        across serial, parallel, and warm-cache runs.
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
     log = log if log is not None else EventLog()
     t_start = time.perf_counter()
 
+    audit_path: Optional[Path] = None
+    if audit_dir is not None:
+        audit_path = Path(audit_dir)
+        audit_path.mkdir(parents=True, exist_ok=True)
+
     points = spec.expand()
     fingerprint = code_fingerprint()
     keys = {p.index: point_key(p.params, fingerprint=fingerprint) for p in points}
+
+    def audit_stem(p: SweepPoint) -> str:
+        return f"{p.index:03d}-{_point_slug(p.label)}"
 
     outcomes: Dict[int, PointResult] = {}
     misses: List[SweepPoint] = []
     for p in points:
         hit = cache.get(keys[p.index]) if cache is not None else None
+        cached_audit: Optional[Dict[str, Any]] = None
+        if hit is not None and audit_path is not None:
+            extras = cache.get_extras(keys[p.index])
+            cached_audit = extras.get("audit") if extras else None
+            if cached_audit is None:
+                # the entry predates auditing; the records must be
+                # regenerated, so treat it as a miss
+                hit = None
         if hit is not None:
+            if cached_audit is not None:
+                write_audit_jsonl(
+                    cached_audit["records"],
+                    audit_path / f"{audit_stem(p)}.jsonl",
+                )
             outcomes[p.index] = PointResult(
                 index=p.index,
                 label=p.label,
@@ -580,6 +658,7 @@ def run_sweep(
                 cached=True,
                 wall_s=0.0,
                 worker="cache",
+                audit=cached_audit["summary"] if cached_audit else None,
             )
         else:
             misses.append(p)
@@ -602,7 +681,15 @@ def run_sweep(
                 worker="cache",
             )
 
-    def finish(p: SweepPoint, summary: ScenarioSummary, wall: float, worker: str) -> None:
+    def finish(
+        p: SweepPoint,
+        summary: ScenarioSummary,
+        wall: float,
+        worker: str,
+        records: Optional[List[Dict[str, Any]]] = None,
+        trace: Optional[TraceLog] = None,
+    ) -> None:
+        audit_sum = audit_summary(records) if records is not None else None
         outcomes[p.index] = PointResult(
             index=p.index,
             label=p.label,
@@ -612,9 +699,24 @@ def run_sweep(
             cached=False,
             wall_s=wall,
             worker=worker,
+            audit=audit_sum,
         )
         if cache is not None:
-            cache.put(keys[p.index], p.params, summary.to_dict())
+            extras = None
+            if records is not None:
+                extras = {"audit": {"summary": audit_sum, "records": records}}
+            cache.put(keys[p.index], p.params, summary.to_dict(), extras=extras)
+        if audit_path is not None and records is not None:
+            stem = audit_stem(p)
+            n = write_audit_jsonl(records, audit_path / f"{stem}.jsonl")
+            if trace is not None:
+                write_chrome_trace(
+                    trace,
+                    str(audit_path / f"{stem}.trace.json"),
+                    job_name=p.label,
+                    audit=records,
+                )
+            _log.debug("%s: wrote %d audit records", p.label, n)
         log.emit(
             "point_done",
             label=p.label,
@@ -628,26 +730,52 @@ def run_sweep(
         for p in misses:
             log.emit("point_start", label=p.label, key=keys[p.index])
             t0 = time.perf_counter()
-            summary = run_point(p.params)
-            finish(p, summary, time.perf_counter() - t0, "main")
+            if audit_path is not None:
+                summary, records, trace = run_point_audited(p.params)
+                finish(
+                    p, summary, time.perf_counter() - t0, "main",
+                    records=records, trace=trace,
+                )
+            else:
+                summary = run_point(p.params)
+                finish(p, summary, time.perf_counter() - t0, "main")
     elif misses:
         by_index = {p.index: p for p in misses}
         with ProcessPoolExecutor(max_workers=min(workers, len(misses))) as pool:
             futures = {}
             for p in misses:
                 log.emit("point_start", label=p.label, key=keys[p.index])
-                futures[pool.submit(_execute_point, (p.index, p.params))] = p.index
+                task = (p.index, p.params)
+                fut = (
+                    pool.submit(_execute_point_audited, task)
+                    if audit_path is not None
+                    else pool.submit(_execute_point, task)
+                )
+                futures[fut] = p.index
             pending = set(futures)
             while pending:
                 done, pending = wait(pending, return_when=FIRST_COMPLETED)
                 for fut in done:
-                    index, summary_dict, wall, worker = fut.result()
-                    finish(
-                        by_index[index],
-                        ScenarioSummary.from_dict(summary_dict),
-                        wall,
-                        worker,
-                    )
+                    if audit_path is not None:
+                        index, summary_dict, records, trace, wall, worker = (
+                            fut.result()
+                        )
+                        finish(
+                            by_index[index],
+                            ScenarioSummary.from_dict(summary_dict),
+                            wall,
+                            worker,
+                            records=records,
+                            trace=trace,
+                        )
+                    else:
+                        index, summary_dict, wall, worker = fut.result()
+                        finish(
+                            by_index[index],
+                            ScenarioSummary.from_dict(summary_dict),
+                            wall,
+                            worker,
+                        )
 
     elapsed = time.perf_counter() - t_start
     executed = [r for r in outcomes.values() if not r.cached]

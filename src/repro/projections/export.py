@@ -13,11 +13,11 @@ Times are exported in microseconds, as the format requires.
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 from repro.runtime.tracing import TraceLog
 
-__all__ = ["to_trace_events", "write_chrome_trace"]
+__all__ = ["to_trace_events", "audit_counter_events", "write_chrome_trace"]
 
 _US = 1e6  # seconds -> microseconds
 
@@ -108,21 +108,80 @@ def to_trace_events(
     return events
 
 
+def audit_counter_events(
+    records: Sequence[Mapping[str, Any]],
+    *,
+    pid: int = 1,
+) -> List[Dict[str, Any]]:
+    """Perfetto counter ("C") tracks from LB audit records.
+
+    One sample per committed LB step for each of:
+
+    * ``per-core load (s)`` — every core's Σ t_i + O_p as its own series;
+    * ``O_p estimated (s)`` / ``O_p true (s)`` — the Eq. (2) background
+      estimate next to the injected ground truth, per core;
+    * ``migrations (cumulative)`` — running migration count.
+
+    Records without a committed simulated time (balancer driven outside a
+    runtime) are skipped; a missing ``bg_true`` drops only that series'
+    sample, never the whole record.
+    """
+    events: List[Dict[str, Any]] = []
+    total_migrations = 0
+    for record in records:
+        t = record.get("time")
+        total_migrations += int(record.get("num_migrations", 0))
+        if t is None:
+            continue
+        ts = float(t) * _US
+        load = {f"core{c['core']}": c["load"] for c in record.get("cores", ())}
+        est = {f"core{c['core']}": c["bg_est"] for c in record.get("cores", ())}
+        true = {
+            f"core{c['core']}": c["bg_true"]
+            for c in record.get("cores", ())
+            if c.get("bg_true") is not None
+        }
+        for name, args in (
+            ("per-core load (s)", load),
+            ("O_p estimated (s)", est),
+            ("O_p true (s)", true),
+            ("migrations (cumulative)", {"count": total_migrations}),
+        ):
+            if not args:
+                continue
+            events.append(
+                {
+                    "name": name,
+                    "cat": "lb-audit",
+                    "ph": "C",
+                    "pid": pid,
+                    "ts": ts,
+                    "args": args,
+                }
+            )
+    return events
+
+
 def write_chrome_trace(
     trace: TraceLog,
     path: str,
     *,
     job_name: str = "app",
     extra: Optional[Sequence[TraceLog]] = None,
+    audit: Optional[Sequence[Mapping[str, Any]]] = None,
 ) -> int:
     """Write ``trace`` (plus optional co-scheduled jobs) as JSON.
 
     Returns the number of events written. ``extra`` traces get their own
-    process lanes (pid 2, 3, ...).
+    process lanes (pid 2, 3, ...); ``audit`` records add counter tracks
+    (per-core load, O_p estimated/true, cumulative migrations) to the
+    main job's lane.
     """
     events = to_trace_events(trace, job_name=job_name, pid=1)
     for i, other in enumerate(extra or (), start=2):
         events.extend(to_trace_events(other, job_name=f"job-{i}", pid=i))
+    if audit:
+        events.extend(audit_counter_events(audit, pid=1))
     with open(path, "w") as fh:
         json.dump(events, fh)
     return len(events)

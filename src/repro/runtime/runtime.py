@@ -50,6 +50,7 @@ from repro.runtime.tracing import (
 )
 from repro.sim.engine import SimulationEngine
 from repro.sim.process import SimProcess
+from repro.telemetry import Telemetry
 from repro.util import check_non_negative, check_positive, get_logger
 
 __all__ = ["Runtime", "RunStats"]
@@ -133,6 +134,13 @@ class Runtime:
     run_kernels:
         Invoke :meth:`Chare.execute` (real NumPy computation) before each
         simulated task — validates numerics at the cost of speed.
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry` sink. When given, the
+        runtime attaches it to the balancer (per-step audit records),
+        commits each step with simulated time / iteration / true per-core
+        background load, and feeds run metrics (migration counters,
+        iteration-duration histogram, per-core utilisation gauges).
+        ``None`` (default) keeps all hot paths on the no-op branch.
     """
 
     def __init__(
@@ -151,6 +159,7 @@ class Runtime:
         local_comm_factor: float = 0.25,
         tracing: bool = False,
         run_kernels: bool = False,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         if not core_ids:
             raise ValueError("Runtime needs at least one core")
@@ -175,6 +184,12 @@ class Runtime:
         }
         self.trace = TraceLog(enabled=tracing)
         self.run_kernels = bool(run_kernels)
+        self.telemetry = telemetry
+        if telemetry is not None and balancer is not None:
+            balancer.attach_telemetry(telemetry)
+        # per-core true injected background CPU at the current LB window's
+        # start — the ground truth Eq. (2) estimates against
+        self._bg_window_base: Dict[int, float] = {}
 
         self.arrays: Dict[str, ChareArray] = {}
         self.chares: Dict[ChareKey, Chare] = {}
@@ -285,6 +300,8 @@ class Runtime:
             # baseline the instrumentation window at launch, not at
             # construction, so a delayed job does not see pre-launch time
             self.db = LBDatabase(procstat, state_bytes, comm=comm)
+            if self.telemetry is not None:
+                self._bg_window_base = self._true_bg_cpu()
             self._begin_iteration(0)
 
         self.engine.schedule_at(start_time, _launch)
@@ -384,11 +401,17 @@ class Runtime:
         self.iteration_imbalance.append(self._measure_imbalance())
         for cb in self._on_iteration:
             cb(self, iteration)
+        if self.telemetry is not None:
+            self.telemetry.metrics.histogram("iteration_duration_s").observe(
+                self.iteration_times[-1]
+            )
         completed = iteration + 1
         if completed == self._total_iterations:
             self.finished_at = now
             for cb in self._on_finish:
                 cb(self)
+            if self.telemetry is not None:
+                self._record_final_metrics()
             return
         delay = self.comm_delay()
         if self.balancer is not None and self.policy.due(
@@ -445,6 +468,8 @@ class Runtime:
         view = self.db.build_view(self.mapping)
         migrations = self.balancer.balance(view)
         cost = self._apply_migrations(migrations)
+        if self.telemetry is not None:
+            self._commit_telemetry_step(next_iteration, migrations, cost)
         self.db.reset_window()
         self.lb_step_count += 1
         self.trace.add_lb_step(
@@ -466,6 +491,70 @@ class Runtime:
         )
         pause = self.policy.decision_overhead_s + cost
         self.engine.schedule_after(pause, self._begin_iteration, next_iteration)
+
+    # ------------------------------------------------------------------
+    # telemetry
+    # ------------------------------------------------------------------
+    def _true_bg_cpu(self) -> Dict[int, float]:
+        """Cumulative CPU-seconds other owners consumed on our cores.
+
+        The ground truth the Eq.-(2) estimate ``O_p`` is audited against:
+        the window delta of this quantity is exactly the background load
+        injected on each core during the LB window.
+        """
+        bg: Dict[int, float] = {}
+        for cid in self.core_ids:
+            core = self.cluster.core(cid)
+            core.sync()
+            bg[cid] = sum(
+                cpu
+                for owner, cpu in core.cpu_by_owner.items()
+                if owner != self.name
+            )
+        return bg
+
+    def _commit_telemetry_step(
+        self,
+        next_iteration: int,
+        migrations: Sequence[Migration],
+        cost: float,
+    ) -> None:
+        """Fill the pending audit record and bump run metrics."""
+        assert self.telemetry is not None
+        bg_now = self._true_bg_cpu()
+        bg_true = {
+            cid: bg_now[cid] - self._bg_window_base.get(cid, 0.0)
+            for cid in self.core_ids
+        }
+        self._bg_window_base = bg_now
+        self.telemetry.commit_step(
+            time=self.engine.now,
+            iteration=next_iteration,
+            bg_true=bg_true,
+            migration_cost_s=cost,
+            decision_overhead_s=self.policy.decision_overhead_s,
+        )
+        metrics = self.telemetry.metrics
+        metrics.counter("lb_steps").inc()
+        metrics.counter("migrations").inc(len(migrations))
+        metrics.counter("bytes_moved").inc(
+            sum(self.chares[m.chare].state_bytes for m in migrations)
+        )
+        metrics.counter("lb_overhead_sim_s").inc(
+            self.policy.decision_overhead_s + cost
+        )
+
+    def _record_final_metrics(self) -> None:
+        """Per-core utilisation gauges at job completion."""
+        assert self.telemetry is not None
+        metrics = self.telemetry.metrics
+        for cid in self.core_ids:
+            core = self.cluster.core(cid)
+            core.sync()
+            wall = core.busy_time + core.idle_time
+            metrics.gauge(f"core_utilization.{cid}").set(
+                core.busy_time / wall if wall > 0 else 0.0
+            )
 
     def _apply_migrations(self, migrations: Sequence[Migration]) -> float:
         """Re-map objects and return the transfer wall-clock cost.

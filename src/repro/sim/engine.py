@@ -21,9 +21,11 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional, Tuple
 
-from repro.util import check_non_negative
+from repro.util import check_non_negative, get_logger
 
 __all__ = ["EventHandle", "SimulationEngine"]
+
+_log = get_logger(__name__)
 
 
 @dataclass(order=False)
@@ -185,3 +187,10 @@ class SimulationEngine:
                 self._now = until
         finally:
             self._running = False
+            _log.debug(
+                "run drained: now=%.9g fired=%d cancelled=%d pending=%d",
+                self._now,
+                self._events_fired,
+                self._events_cancelled,
+                len(self._heap),
+            )

@@ -1,0 +1,175 @@
+"""Offline analysis of audit trails — the ``repro inspect`` backend.
+
+Loads one audit JSONL file or a directory of them (one per sweep point,
+as ``repro sweep --audit DIR`` writes), aggregates the decision records,
+and renders the three questions the paper's methodology keeps asking:
+
+* how accurate was the Eq. (2) background-load estimate against the
+  ground-truth injected interference (mean/max per core)?
+* what did the balancer *do* — accept/reject counts by reason, and the
+  biggest migrations it committed?
+* what did balancing *cost* — simulated decision + transfer overhead?
+
+All numbers derive from simulated quantities only, so inspection output
+is deterministic for a given scenario regardless of how the sweep that
+produced it was executed (serial, parallel, or warm-cache).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Sequence, Tuple, Union
+
+from repro.telemetry.audit import audit_summary, read_audit_jsonl
+
+__all__ = ["load_audit_dir", "inspect_audit", "format_inspect_text"]
+
+
+def load_audit_dir(path: Union[str, Path]) -> Dict[str, List[Dict[str, Any]]]:
+    """``source name -> records`` for a JSONL file or a directory of them.
+
+    A directory is scanned (sorted) for ``*.jsonl`` files; a single file
+    loads under its stem. Raises ``FileNotFoundError``/``ValueError`` on
+    missing or empty input so the CLI can report a clean error.
+    """
+    p = Path(path)
+    if p.is_file():
+        return {p.stem: read_audit_jsonl(p)}
+    if not p.is_dir():
+        raise FileNotFoundError(f"no audit file or directory at {p}")
+    files = sorted(p.glob("*.jsonl"))
+    if not files:
+        raise ValueError(f"no *.jsonl audit files under {p}")
+    return {f.stem: read_audit_jsonl(f) for f in files}
+
+
+def _top_migrations(
+    records: Sequence[Mapping[str, Any]], limit: int
+) -> List[Dict[str, Any]]:
+    """The ``limit`` biggest committed migrations by task CPU time."""
+    moves: List[Dict[str, Any]] = []
+    for record in records:
+        for m in record.get("migrations", ()):
+            moves.append(
+                {
+                    "step": record.get("step"),
+                    "iteration": record.get("iteration"),
+                    "chare": m.get("chare"),
+                    "src": m.get("src"),
+                    "dst": m.get("dst"),
+                    "cpu_time": float(m.get("cpu_time", 0.0)),
+                    "state_bytes": float(m.get("state_bytes", 0.0)),
+                }
+            )
+    moves.sort(
+        key=lambda m: (-m["cpu_time"], m["step"] or 0, tuple(m["chare"] or ()))
+    )
+    return moves[:limit]
+
+
+def inspect_audit(
+    path: Union[str, Path], *, top: int = 10
+) -> Dict[str, Any]:
+    """Aggregate an audit file/directory into one report dict.
+
+    The report carries per-source summaries plus a combined view over
+    every record; ``top`` bounds the "top migrations" list.
+    """
+    sources = load_audit_dir(path)
+    all_records: List[Dict[str, Any]] = []
+    per_source: Dict[str, Any] = {}
+    for name, records in sources.items():
+        per_source[name] = audit_summary(records)
+        all_records.extend(records)
+    combined = audit_summary(all_records)
+    combined["top_migrations"] = _top_migrations(all_records, top)
+    strategies = sorted(
+        {str(r.get("strategy")) for r in all_records if r.get("strategy")}
+    )
+    return {
+        "sources": per_source,
+        "combined": combined,
+        "strategies": strategies,
+    }
+
+
+def _fmt_chare(chare: Any) -> str:
+    if isinstance(chare, (list, tuple)) and len(chare) == 2:
+        return f"{chare[0]}[{chare[1]}]"
+    return str(chare)
+
+
+def format_inspect_text(report: Mapping[str, Any]) -> str:
+    """Human-readable rendering of an :func:`inspect_audit` report."""
+    from repro.experiments.tables import format_table
+
+    combined = report["combined"]
+    est = combined["estimation_error"]
+    lines: List[str] = []
+    lines.append(
+        f"audit: {combined['lb_steps']} LB steps across "
+        f"{len(report['sources'])} source(s); strategies: "
+        f"{', '.join(report['strategies']) or '-'}"
+    )
+    lines.append(
+        f"migrations: {combined['migrations']} "
+        f"({combined['bytes_moved']:.0f} bytes moved); "
+        f"LB overhead: {combined['overhead_s']:.6f}s simulated"
+    )
+    lines.append("")
+
+    core_rows: List[Tuple[Any, ...]] = [
+        (cid, stats["steps"], stats["mean_err"], stats["mean_abs_err"], stats["max_abs_err"])
+        for cid, stats in est["per_core"].items()
+    ]
+    if core_rows:
+        lines.append(
+            format_table(
+                ["core", "steps", "mean err (s)", "mean |err| (s)", "max |err| (s)"],
+                core_rows,
+                title=(
+                    "Eq. 2 estimation error (O_p estimate - true injected load); "
+                    f"overall mean |err| {est['mean_abs']:.6f}s, "
+                    f"max |err| {est['max_abs']:.6f}s"
+                ),
+                float_fmt="{:.6f}",
+            )
+        )
+        lines.append("")
+
+    reason_rows = [
+        tuple(key.split(":", 1)) + (count,)
+        for key, count in combined["reasons"].items()
+    ]
+    if reason_rows:
+        lines.append(
+            format_table(
+                ["outcome", "reason", "count"],
+                reason_rows,
+                title="Candidate decisions by reason",
+            )
+        )
+        lines.append("")
+
+    top = combined.get("top_migrations", [])
+    if top:
+        lines.append(
+            format_table(
+                ["step", "iteration", "chare", "src", "dst", "cpu (s)", "bytes"],
+                [
+                    (
+                        m["step"],
+                        m["iteration"],
+                        _fmt_chare(m["chare"]),
+                        m["src"],
+                        m["dst"],
+                        m["cpu_time"],
+                        m["state_bytes"],
+                    )
+                    for m in top
+                ],
+                title=f"Top {len(top)} migrations by task CPU time",
+                float_fmt="{:.6f}",
+            )
+        )
+    return "\n".join(lines).rstrip()

@@ -10,7 +10,7 @@ from repro.experiments.cache import (
     code_fingerprint,
     point_key,
 )
-from repro.experiments.progress import EventLog
+from repro.experiments.progress import PROGRESS_SCHEMA, EventLog
 from repro.experiments.sweep import (
     PARAM_DEFAULTS,
     ScenarioSummary,
@@ -257,6 +257,7 @@ class TestRunSweep:
     def test_event_stream_structure(self):
         log = EventLog()
         run_sweep(tiny_spec(), log=log)
+        assert all(e["schema"] == PROGRESS_SCHEMA for e in log.events)
         assert [e["event"] for e in log.events[:1]] == ["sweep_start"]
         assert log.events[-1]["event"] == "sweep_done"
         assert len(log.of_type("point_start")) == 4
@@ -271,6 +272,7 @@ class TestRunSweep:
             run_sweep(tiny_spec(), log=EventLog(stream=fh))
         lines = path.read_text().splitlines()
         events = [json.loads(line) for line in lines]
+        assert all(e["schema"] == 1 for e in events)
         assert events[0]["event"] == "sweep_start"
         assert events[-1]["event"] == "sweep_done"
         assert events[-1]["hit_rate"] == 0.0

@@ -159,3 +159,53 @@ def test_sweep_fig2_preset_emits_penalty_and_energy_tables(capsys):
     out = capsys.readouterr().out
     assert "Figure 2 — timing penalty vs. interference (percent, via sweep)" in out
     assert "Figure 4 — power draw and energy overhead (via sweep)" in out
+
+
+def test_sweep_audit_then_inspect(tmp_path, capsys):
+    audit_dir = tmp_path / "audit"
+    rc = main(
+        ["sweep", "--preset", "smoke", "--no-cache", "--audit", str(audit_dir)]
+    )
+    assert rc == 0
+    capsys.readouterr()
+    jsonls = sorted(audit_dir.glob("*.jsonl"))
+    traces = sorted(audit_dir.glob("*.trace.json"))
+    assert len(jsonls) == len(traces) == 4
+
+    assert main(["inspect", str(audit_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "LB steps across 4 source(s)" in out
+    assert "Eq. 2 estimation error" in out
+    assert "Candidate decisions by reason" in out
+
+    assert main(["inspect", str(audit_dir), "--json", "--top", "2"]) == 0
+    import json
+
+    report = json.loads(capsys.readouterr().out)
+    assert len(report["combined"]["top_migrations"]) <= 2
+    assert report["combined"]["lb_steps"] > 0
+
+
+def test_inspect_errors_are_clean(tmp_path, capsys):
+    assert main(["inspect", str(tmp_path / "missing")]) == 2
+    assert "repro inspect: error:" in capsys.readouterr().err
+
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text("{broken\n")
+    assert main(["inspect", str(bad)]) == 2
+    assert "repro inspect: error:" in capsys.readouterr().err
+
+    assert main(["inspect", str(tmp_path), "--top", "-1"]) == 2
+    assert "--top must be >= 0" in capsys.readouterr().err
+
+
+def test_log_level_flag_configures_root_logger(capsys):
+    import logging
+
+    root = logging.getLogger()
+    before = root.level
+    try:
+        assert main(["--log-level", "warning", "demo", "--scale", "0.05"]) == 0
+        assert root.level == logging.WARNING
+    finally:
+        root.setLevel(before)
