@@ -11,6 +11,8 @@ writing code::
     python -m repro demo --cores 16
     python -m repro sweep --preset fig2 --workers 4
     python -m repro sweep --spec my_sweep.json -j 4 --jsonl progress.jsonl
+    python -m repro bench --suite micro
+    python -m repro bench --compare benchmarks/trajectory/baseline.json
 
 All commands print the regenerated table/timeline to stdout; ``--output
 DIR`` additionally writes it to ``DIR/<figure>.txt``. The heavy commands
@@ -177,6 +179,73 @@ def build_parser() -> argparse.ArgumentParser:
     psw.add_argument(
         "--output", type=Path, default=None, metavar="DIR",
         help="also write the result table into DIR/sweep_<name>.txt",
+    )
+
+    pb = sub.add_parser(
+        "bench",
+        help="run the curated perf suite; write/compare BENCH_*.json",
+    )
+    pb.add_argument(
+        "--suite",
+        choices=["micro", "macro", "all"],
+        default="all",
+        help="which suites to run (default: all)",
+    )
+    pb.add_argument(
+        "--repeats", type=int, default=5,
+        help="measured iterations per metric (default: 5)",
+    )
+    pb.add_argument(
+        "--warmup", type=int, default=2,
+        help="discarded warmup iterations per metric (default: 2)",
+    )
+    pb.add_argument(
+        "--filter", default=None, metavar="SUBSTR",
+        help="only run metrics whose name contains SUBSTR",
+    )
+    pb.add_argument(
+        "--trajectory-dir", type=Path, default=Path("benchmarks/trajectory"),
+        metavar="DIR",
+        help="where BENCH_<git-sha>.json entries accumulate "
+        "(default: benchmarks/trajectory)",
+    )
+    pb.add_argument(
+        "--no-save", action="store_true",
+        help="do not append this run to the trajectory directory",
+    )
+    pb.add_argument(
+        "--compare", type=Path, default=None, metavar="BASELINE",
+        help="compare against a baseline BENCH_*.json; exit 1 on regression",
+    )
+    pb.add_argument(
+        "--replay", type=Path, default=None, metavar="CURRENT",
+        help="compare an existing BENCH_*.json instead of running the suite "
+        "(requires --compare)",
+    )
+    pb.add_argument(
+        "--rel-threshold", type=float, default=None, metavar="FRAC",
+        help="relative noise floor for the regression gate (default: 0.25)",
+    )
+    pb.add_argument(
+        "--iqr-factor", type=float, default=None, metavar="X",
+        help="how many relative IQRs widen the tolerance band (default: 4)",
+    )
+    pb.add_argument(
+        "--allow-env-mismatch", action="store_true",
+        help="compare results from different machines anyway",
+    )
+    pb.add_argument(
+        "--profile", type=Path, default=None, metavar="DIR",
+        help="additionally run one profiled smoke scenario and write "
+        "profile.json + profile.trace.json into DIR",
+    )
+    pb.add_argument(
+        "--json", action="store_true",
+        help="emit the result (and comparison) as JSON instead of tables",
+    )
+    pb.add_argument(
+        "--output", type=Path, default=None, metavar="DIR",
+        help="also write the report into DIR/bench.txt",
     )
 
     pin = sub.add_parser(
@@ -395,6 +464,110 @@ def _cmd_inspect(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    import json
+
+    from repro.perf import (
+        DEFAULT_IQR_FACTOR,
+        DEFAULT_REL_THRESHOLD,
+        SUITES,
+        bench_filename,
+        compare_bench,
+        format_bench_text,
+        format_compare_text,
+        load_bench,
+        run_bench,
+        save_bench,
+    )
+
+    suites = SUITES if args.suite == "all" else (args.suite,)
+    if args.replay is not None and args.compare is None:
+        print(
+            "repro bench: error: --replay requires --compare", file=sys.stderr
+        )
+        return 2
+
+    def progress(name: str, i: int, total: int) -> None:
+        print(f"[{i + 1}/{total}] {name}", file=sys.stderr)
+
+    try:
+        if args.replay is not None:
+            current = load_bench(args.replay)
+        else:
+            current = run_bench(
+                suites=suites,
+                repeats=args.repeats,
+                warmup=args.warmup,
+                name_filter=args.filter,
+                progress=None if args.json else progress,
+            )
+    except (ValueError, OSError) as exc:
+        print(f"repro bench: error: {exc}", file=sys.stderr)
+        return 2
+
+    saved: Optional[Path] = None
+    if args.replay is None and not args.no_save:
+        saved = save_bench(current, args.trajectory_dir / bench_filename(current))
+
+    report = None
+    if args.compare is not None:
+        try:
+            baseline = load_bench(args.compare)
+            report = compare_bench(
+                baseline,
+                current,
+                rel_threshold=(
+                    args.rel_threshold
+                    if args.rel_threshold is not None
+                    else DEFAULT_REL_THRESHOLD
+                ),
+                iqr_factor=(
+                    args.iqr_factor
+                    if args.iqr_factor is not None
+                    else DEFAULT_IQR_FACTOR
+                ),
+                allow_env_mismatch=args.allow_env_mismatch,
+            )
+        except (ValueError, OSError) as exc:
+            print(f"repro bench: error: {exc}", file=sys.stderr)
+            return 2
+
+    if args.profile is not None:
+        from repro.experiments.sweep import run_point_audited
+        from repro.projections.export import write_chrome_trace
+
+        _, records, trace, profile = run_point_audited(
+            {"app": "jacobi2d", "scale": 0.05, "iterations": 10, "cores": 4,
+             "bg": True, "balancer": "refine-vm"}
+        )
+        args.profile.mkdir(parents=True, exist_ok=True)
+        (args.profile / "profile.json").write_text(
+            json.dumps(profile, indent=1, sort_keys=True) + "\n"
+        )
+        write_chrome_trace(
+            trace,
+            str(args.profile / "profile.trace.json"),
+            job_name="profiled-smoke",
+            audit=records,
+            profile=profile,
+        )
+        print(f"[profile written to {args.profile}]", file=sys.stderr)
+
+    if args.json:
+        payload: dict = {"result": current}
+        if report is not None:
+            payload["comparison"] = report.to_dict()
+        text = json.dumps(payload, indent=1, sort_keys=True)
+    else:
+        text = format_bench_text(current)
+        if report is not None:
+            text += "\n\n" + format_compare_text(report)
+    _emit(text, "bench", args.output)
+    if saved is not None:
+        print(f"[trajectory entry: {saved}]", file=sys.stderr)
+    return 0 if report is None or report.ok else 1
+
+
 _COMMANDS = {
     "fig1": _cmd_fig1,
     "fig2": _cmd_fig2,
@@ -403,6 +576,7 @@ _COMMANDS = {
     "headline": _cmd_headline,
     "demo": _cmd_demo,
     "sweep": _cmd_sweep,
+    "bench": _cmd_bench,
     "inspect": _cmd_inspect,
 }
 

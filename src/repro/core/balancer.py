@@ -27,6 +27,7 @@ import time
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.database import ChareKey, LBView, Migration, validate_migrations
+from repro.perf.profiler import active as _profiler
 from repro.util import get_logger
 
 __all__ = ["LoadBalancer"]
@@ -125,14 +126,16 @@ class LoadBalancer(abc.ABC):
         """
         sink = self._audit_sink
         if sink is None:
-            migrations = self.decide(view)
+            with _profiler().phase("lb.decide"):
+                migrations = self.decide(view)
             validate_migrations(view, migrations)
             return migrations
 
         self._step_candidates = []
         t0 = time.perf_counter()
         try:
-            migrations = self.decide(view)
+            with _profiler().phase("lb.decide"):
+                migrations = self.decide(view)
         finally:
             candidates, self._step_candidates = self._step_candidates, None
         decide_wall_s = time.perf_counter() - t0

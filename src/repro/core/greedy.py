@@ -19,6 +19,7 @@ from typing import List
 
 from repro.core.balancer import LoadBalancer
 from repro.core.database import LBView, Migration
+from repro.perf.profiler import active as _profiler
 from repro.telemetry.audit import (
     ACCEPTED,
     NOTED,
@@ -48,10 +49,11 @@ class GreedyLB(LoadBalancer):
 
     def decide(self, view: LBView) -> List[Migration]:
         current = view.task_map()
-        all_tasks = sorted(
-            (t for c in view.cores for t in c.tasks),
-            key=lambda t: (-t.cpu_time, t.chare),
-        )
+        with _profiler().phase("lb.greedy.sort"):
+            all_tasks = sorted(
+                (t for c in view.cores for t in c.tasks),
+                key=lambda t: (-t.cpu_time, t.chare),
+            )
         # min-heap of (load, core_id)
         heap = [
             ((c.bg_load if self.aware else 0.0), c.core_id) for c in view.cores

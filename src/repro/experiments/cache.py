@@ -27,6 +27,8 @@ import tempfile
 from pathlib import Path
 from typing import Any, Dict, Optional
 
+from repro.perf.profiler import active as _profiler
+
 __all__ = [
     "CACHE_FORMAT",
     "code_fingerprint",
@@ -108,11 +110,12 @@ class ResultCache:
 
     def _entry(self, key: str) -> Optional[Dict[str, Any]]:
         path = self._path(key)
-        try:
-            with open(path) as fh:
-                entry = json.load(fh)
-        except (OSError, json.JSONDecodeError):
-            return None
+        with _profiler().phase("cache.get"):
+            try:
+                with open(path) as fh:
+                    entry = json.load(fh)
+            except (OSError, json.JSONDecodeError):
+                return None
         if entry.get("format") != CACHE_FORMAT or entry.get("key") != key:
             return None
         return entry
@@ -161,17 +164,18 @@ class ResultCache:
         }
         if extras is not None:
             entry["extras"] = extras
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w") as fh:
-                json.dump(entry, fh, indent=1, sort_keys=True)
-            os.replace(tmp, path)
-        except BaseException:
+        with _profiler().phase("cache.put"):
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
             try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+                with os.fdopen(fd, "w") as fh:
+                    json.dump(entry, fh, indent=1, sort_keys=True)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
 
     def __len__(self) -> int:
         if not self.root.is_dir():

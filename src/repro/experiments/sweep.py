@@ -82,6 +82,7 @@ from repro.experiments.progress import EventLog, SweepMetrics
 from repro.experiments.runner import ExperimentResult, run_scenario
 from repro.experiments.scenario import BackgroundSpec, Scenario
 from repro.experiments.tables import format_table
+from repro.perf.profiler import profiled
 from repro.projections.export import write_chrome_trace
 from repro.runtime.tracing import TraceLog
 from repro.telemetry import Telemetry, audit_summary, write_audit_jsonl
@@ -354,20 +355,29 @@ def run_point(params: Mapping[str, Any]) -> ScenarioSummary:
 
 def run_point_audited(
     params: Mapping[str, Any],
-) -> Tuple[ScenarioSummary, List[Dict[str, Any]], TraceLog]:
-    """Execute one point with telemetry attached.
+) -> Tuple[ScenarioSummary, List[Dict[str, Any]], TraceLog, Dict[str, Any]]:
+    """Execute one point with telemetry and the phase profiler attached.
 
-    Returns ``(summary, audit_records, trace)``. The summary is
-    bit-identical to :func:`run_point`'s — telemetry and tracing are
-    strictly observational — so audited and plain runs share cache
-    entries. The audit records carry only simulated quantities and are
-    therefore deterministic across serial/parallel/warm-cache execution;
-    the trace feeds the Chrome/Perfetto export.
+    Returns ``(summary, audit_records, trace, profile)``. The summary is
+    bit-identical to :func:`run_point`'s — telemetry, tracing and
+    profiling are strictly observational — so audited and plain runs
+    share cache entries. The audit records carry only simulated
+    quantities and are therefore deterministic across serial/parallel/
+    warm-cache execution; the trace feeds the Chrome/Perfetto export.
+    ``profile`` is the exported host wall-clock phase breakdown
+    (:meth:`repro.perf.PhaseProfiler.export`) — nondeterministic by
+    nature, so it is written next to traces but never cached.
     """
     telemetry = Telemetry()
     scenario = replace(build_scenario(params), tracing=True)
-    result = run_scenario(scenario, telemetry=telemetry)
-    return summarize_result(result), telemetry.audit.records, result.trace
+    with profiled(record_intervals=True) as prof:
+        result = run_scenario(scenario, telemetry=telemetry)
+    return (
+        summarize_result(result),
+        telemetry.audit.records,
+        result.trace,
+        prof.export(),
+    )
 
 
 def _execute_point(payload: Tuple[int, Dict[str, Any]]) -> Tuple[int, Dict[str, Any], float, str]:
@@ -381,13 +391,13 @@ def _execute_point(payload: Tuple[int, Dict[str, Any]]) -> Tuple[int, Dict[str, 
 
 def _execute_point_audited(
     payload: Tuple[int, Dict[str, Any]],
-) -> Tuple[int, Dict[str, Any], List[Dict[str, Any]], TraceLog, float, str]:
+) -> Tuple[int, Dict[str, Any], List[Dict[str, Any]], TraceLog, Dict[str, Any], float, str]:
     """Worker entry point for audited runs (picklable, top-level)."""
     index, params = payload
     t0 = time.perf_counter()
-    summary, records, trace = run_point_audited(params)
+    summary, records, trace, profile = run_point_audited(params)
     wall = time.perf_counter() - t0
-    return index, summary.to_dict(), records, trace, wall, f"pid:{os.getpid()}"
+    return index, summary.to_dict(), records, trace, profile, wall, f"pid:{os.getpid()}"
 
 
 # ---------------------------------------------------------------------------
@@ -688,6 +698,7 @@ def run_sweep(
         worker: str,
         records: Optional[List[Dict[str, Any]]] = None,
         trace: Optional[TraceLog] = None,
+        profile: Optional[Dict[str, Any]] = None,
     ) -> None:
         audit_sum = audit_summary(records) if records is not None else None
         outcomes[p.index] = PointResult(
@@ -715,6 +726,7 @@ def run_sweep(
                     str(audit_path / f"{stem}.trace.json"),
                     job_name=p.label,
                     audit=records,
+                    profile=profile,
                 )
             _log.debug("%s: wrote %d audit records", p.label, n)
         log.emit(
@@ -731,10 +743,10 @@ def run_sweep(
             log.emit("point_start", label=p.label, key=keys[p.index])
             t0 = time.perf_counter()
             if audit_path is not None:
-                summary, records, trace = run_point_audited(p.params)
+                summary, records, trace, profile = run_point_audited(p.params)
                 finish(
                     p, summary, time.perf_counter() - t0, "main",
-                    records=records, trace=trace,
+                    records=records, trace=trace, profile=profile,
                 )
             else:
                 summary = run_point(p.params)
@@ -757,9 +769,10 @@ def run_sweep(
                 done, pending = wait(pending, return_when=FIRST_COMPLETED)
                 for fut in done:
                     if audit_path is not None:
-                        index, summary_dict, records, trace, wall, worker = (
-                            fut.result()
-                        )
+                        (
+                            index, summary_dict, records, trace, profile,
+                            wall, worker,
+                        ) = fut.result()
                         finish(
                             by_index[index],
                             ScenarioSummary.from_dict(summary_dict),
@@ -767,6 +780,7 @@ def run_sweep(
                             worker,
                             records=records,
                             trace=trace,
+                            profile=profile,
                         )
                     else:
                         index, summary_dict, wall, worker = fut.result()

@@ -1,0 +1,69 @@
+"""Performance observability: phase profiler, bench harness, regression gate.
+
+Three cooperating pieces (see each module's docstring):
+
+* :mod:`repro.perf.profiler` — scoped wall-clock timers on the hot paths
+  (event loop, balancer decisions, cache IO), zero-overhead when
+  disabled, exportable as a Perfetto track next to the telemetry traces;
+* :mod:`repro.perf.bench` — the ``repro bench`` micro + macro suite,
+  producing schema-versioned ``BENCH_<git-sha>.json`` trajectory
+  entries with an environment fingerprint;
+* :mod:`repro.perf.compare` — the noise-aware (IQR-scaled) regression
+  gate behind ``repro bench --compare``, wired into CI.
+"""
+
+from repro.perf.bench import (
+    BENCH_SCHEMA,
+    Benchmark,
+    SUITES,
+    bench_filename,
+    default_benchmarks,
+    environment_fingerprint,
+    format_bench_text,
+    load_bench,
+    run_bench,
+    save_bench,
+)
+from repro.perf.compare import (
+    DEFAULT_IQR_FACTOR,
+    DEFAULT_REL_THRESHOLD,
+    ComparisonReport,
+    MetricDelta,
+    compare_bench,
+    format_compare_text,
+)
+from repro.perf.profiler import (
+    NULL_PROFILER,
+    PROFILE_SCHEMA,
+    PhaseProfiler,
+    active,
+    install,
+    phase_trace_events,
+    profiled,
+)
+
+__all__ = [
+    "PhaseProfiler",
+    "NULL_PROFILER",
+    "PROFILE_SCHEMA",
+    "active",
+    "install",
+    "profiled",
+    "phase_trace_events",
+    "BENCH_SCHEMA",
+    "Benchmark",
+    "SUITES",
+    "default_benchmarks",
+    "environment_fingerprint",
+    "run_bench",
+    "bench_filename",
+    "save_bench",
+    "load_bench",
+    "format_bench_text",
+    "DEFAULT_REL_THRESHOLD",
+    "DEFAULT_IQR_FACTOR",
+    "MetricDelta",
+    "ComparisonReport",
+    "compare_bench",
+    "format_compare_text",
+]

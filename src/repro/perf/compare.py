@@ -1,0 +1,281 @@
+"""The regression gate: ``repro bench --compare <baseline.json>``.
+
+Comparing two bench results is a per-metric ratio test with a
+noise-aware tolerance. For each metric present in both results the gate
+computes a **slowdown factor** normalised so that >1 always means
+"worse", regardless of metric direction::
+
+    factor = baseline_median / current_median   (direction = higher)
+    factor = current_median / baseline_median   (direction = lower)
+
+and a tolerance that is the larger of a fixed relative floor and an
+IQR-scaled noise band::
+
+    tol = max(rel_threshold, iqr_factor * max(IQR_b / med_b, IQR_c / med_c))
+
+A metric **regresses** when ``factor > 1 + tol`` and **improves** when
+``factor < 1 / (1 + tol)``; anything in between is noise-level ``ok``.
+Metrics present in only one result are reported (``added``/``removed``)
+but never fail the gate, so growing the suite doesn't break CI for
+unrelated PRs. The gate also refuses to compare results whose
+environment fingerprints differ on machine-shaped fields unless told to
+(``allow_env_mismatch``) — cross-machine medians are not comparable at
+these thresholds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Tuple
+
+__all__ = [
+    "DEFAULT_REL_THRESHOLD",
+    "DEFAULT_IQR_FACTOR",
+    "MetricDelta",
+    "ComparisonReport",
+    "compare_bench",
+    "format_compare_text",
+]
+
+#: Relative noise floor: medians within 25% never regress. Large enough
+#: for timer jitter on loaded CI machines, far below the 2x slowdowns
+#: the gate exists to catch.
+DEFAULT_REL_THRESHOLD = 0.25
+
+#: How many relative IQRs of spread widen the tolerance band.
+DEFAULT_IQR_FACTOR = 4.0
+
+#: Environment fields that make medians incomparable when they differ.
+_ENV_COMPARABILITY_FIELDS = ("implementation", "platform", "machine")
+
+# verdicts
+OK = "ok"
+IMPROVED = "improved"
+REGRESSION = "regression"
+ADDED = "added"
+REMOVED = "removed"
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """Outcome of one metric's baseline-vs-current comparison."""
+
+    name: str
+    verdict: str
+    direction: str
+    unit: str
+    baseline_median: float
+    current_median: float
+    #: normalised slowdown (>1 = worse); 1.0 for added/removed metrics
+    factor: float
+    #: tolerance band the factor was judged against
+    tolerance: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "verdict": self.verdict,
+            "direction": self.direction,
+            "unit": self.unit,
+            "baseline_median": self.baseline_median,
+            "current_median": self.current_median,
+            "factor": self.factor,
+            "tolerance": self.tolerance,
+        }
+
+
+@dataclass(frozen=True)
+class ComparisonReport:
+    """Every metric's delta plus the gate's overall verdict."""
+
+    deltas: Tuple[MetricDelta, ...]
+    rel_threshold: float
+    iqr_factor: float
+    env_mismatch: Tuple[str, ...] = ()
+    notes: Tuple[str, ...] = ()
+
+    @property
+    def regressions(self) -> List[MetricDelta]:
+        return [d for d in self.deltas if d.verdict == REGRESSION]
+
+    @property
+    def ok(self) -> bool:
+        """True when no metric regressed (the gate's pass condition)."""
+        return not self.regressions
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "ok": self.ok,
+            "rel_threshold": self.rel_threshold,
+            "iqr_factor": self.iqr_factor,
+            "env_mismatch": list(self.env_mismatch),
+            "notes": list(self.notes),
+            "regressions": [d.name for d in self.regressions],
+            "metrics": [d.to_dict() for d in self.deltas],
+        }
+
+
+def _rel_iqr(metric: Mapping[str, Any]) -> float:
+    median = float(metric.get("median", 0.0))
+    if median <= 0.0:
+        return 0.0
+    return float(metric.get("iqr", 0.0)) / median
+
+
+def compare_bench(
+    baseline: Mapping[str, Any],
+    current: Mapping[str, Any],
+    *,
+    rel_threshold: float = DEFAULT_REL_THRESHOLD,
+    iqr_factor: float = DEFAULT_IQR_FACTOR,
+    allow_env_mismatch: bool = False,
+) -> ComparisonReport:
+    """Judge ``current`` against ``baseline``; see the module docstring.
+
+    Raises
+    ------
+    ValueError
+        On a machine-shaped environment mismatch (unless
+        ``allow_env_mismatch``) or nonsensical thresholds.
+    """
+    if rel_threshold < 0.0:
+        raise ValueError(f"rel_threshold must be >= 0, got {rel_threshold}")
+    if iqr_factor < 0.0:
+        raise ValueError(f"iqr_factor must be >= 0, got {iqr_factor}")
+
+    env_b = baseline.get("env", {})
+    env_c = current.get("env", {})
+    mismatched = tuple(
+        f
+        for f in _ENV_COMPARABILITY_FIELDS
+        if env_b.get(f) is not None
+        and env_c.get(f) is not None
+        and env_b.get(f) != env_c.get(f)
+    )
+    if mismatched and not allow_env_mismatch:
+        detail = ", ".join(
+            f"{f}: {env_b.get(f)!r} vs {env_c.get(f)!r}" for f in mismatched
+        )
+        raise ValueError(
+            f"bench environments are not comparable ({detail}); "
+            "re-baseline on this machine or pass --allow-env-mismatch"
+        )
+
+    metrics_b = baseline.get("metrics", {})
+    metrics_c = current.get("metrics", {})
+    deltas: List[MetricDelta] = []
+    notes: List[str] = []
+
+    for name in sorted(set(metrics_b) | set(metrics_c)):
+        mb = metrics_b.get(name)
+        mc = metrics_c.get(name)
+        if mb is None or mc is None:
+            src = mc if mb is None else mb
+            deltas.append(
+                MetricDelta(
+                    name=name,
+                    verdict=ADDED if mb is None else REMOVED,
+                    direction=str(src.get("direction", "lower")),
+                    unit=str(src.get("unit", "")),
+                    baseline_median=float(mb["median"]) if mb else 0.0,
+                    current_median=float(mc["median"]) if mc else 0.0,
+                    factor=1.0,
+                    tolerance=0.0,
+                )
+            )
+            notes.append(
+                f"{name}: only in {'current' if mb is None else 'baseline'} "
+                "result (informational)"
+            )
+            continue
+
+        direction = str(mb.get("direction", "lower"))
+        med_b = float(mb["median"])
+        med_c = float(mc["median"])
+        if med_b <= 0.0 or med_c <= 0.0:
+            notes.append(f"{name}: non-positive median, skipped")
+            deltas.append(
+                MetricDelta(
+                    name=name,
+                    verdict=OK,
+                    direction=direction,
+                    unit=str(mb.get("unit", "")),
+                    baseline_median=med_b,
+                    current_median=med_c,
+                    factor=1.0,
+                    tolerance=0.0,
+                )
+            )
+            continue
+
+        factor = med_b / med_c if direction == "higher" else med_c / med_b
+        tol = max(
+            rel_threshold, iqr_factor * max(_rel_iqr(mb), _rel_iqr(mc))
+        )
+        if factor > 1.0 + tol:
+            verdict = REGRESSION
+        elif factor < 1.0 / (1.0 + tol):
+            verdict = IMPROVED
+        else:
+            verdict = OK
+        deltas.append(
+            MetricDelta(
+                name=name,
+                verdict=verdict,
+                direction=direction,
+                unit=str(mb.get("unit", "")),
+                baseline_median=med_b,
+                current_median=med_c,
+                factor=factor,
+                tolerance=tol,
+            )
+        )
+
+    return ComparisonReport(
+        deltas=tuple(deltas),
+        rel_threshold=rel_threshold,
+        iqr_factor=iqr_factor,
+        env_mismatch=mismatched,
+        notes=tuple(notes),
+    )
+
+
+def format_compare_text(report: ComparisonReport) -> str:
+    """Human-readable verdict table for the terminal."""
+    from repro.experiments.tables import format_table
+
+    rows = [
+        (
+            d.name,
+            d.baseline_median,
+            d.current_median,
+            f"{d.factor:.3f}x" if d.verdict not in (ADDED, REMOVED) else "-",
+            f"{100.0 * d.tolerance:.0f}%",
+            d.verdict.upper() if d.verdict == REGRESSION else d.verdict,
+        )
+        for d in report.deltas
+    ]
+    verdict = (
+        "PASS — no regressions"
+        if report.ok
+        else f"FAIL — {len(report.regressions)} regression(s): "
+        + ", ".join(d.name for d in report.regressions)
+    )
+    table = format_table(
+        ["metric", "baseline", "current", "slowdown", "tol", "verdict"],
+        rows,
+        title=(
+            f"bench comparison (floor {100.0 * report.rel_threshold:.0f}%, "
+            f"IQR x{report.iqr_factor:g})"
+        ),
+        float_fmt="{:,.1f}",
+    )
+    lines = [table]
+    if report.env_mismatch:
+        lines.append(
+            "warning: environment mismatch on "
+            + ", ".join(report.env_mismatch)
+            + " — deltas may reflect hardware, not code"
+        )
+    lines.append(verdict)
+    return "\n".join(lines)

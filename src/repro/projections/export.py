@@ -13,8 +13,9 @@ Times are exported in microseconds, as the format requires.
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List, Mapping, Optional, Sequence
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
 
+from repro.perf.profiler import PhaseProfiler, phase_trace_events
 from repro.runtime.tracing import TraceLog
 
 __all__ = ["to_trace_events", "audit_counter_events", "write_chrome_trace"]
@@ -169,19 +170,25 @@ def write_chrome_trace(
     job_name: str = "app",
     extra: Optional[Sequence[TraceLog]] = None,
     audit: Optional[Sequence[Mapping[str, Any]]] = None,
+    profile: Optional[Union[PhaseProfiler, Mapping[str, Any]]] = None,
 ) -> int:
     """Write ``trace`` (plus optional co-scheduled jobs) as JSON.
 
     Returns the number of events written. ``extra`` traces get their own
     process lanes (pid 2, 3, ...); ``audit`` records add counter tracks
     (per-core load, O_p estimated/true, cumulative migrations) to the
-    main job's lane.
+    main job's lane; ``profile`` (a :class:`PhaseProfiler` or its
+    exported dict) adds the host wall-clock phase breakdown as its own
+    process lane. Simulated-time and host-time lanes share one timeline
+    axis but not an origin — compare durations, not positions.
     """
     events = to_trace_events(trace, job_name=job_name, pid=1)
     for i, other in enumerate(extra or (), start=2):
         events.extend(to_trace_events(other, job_name=f"job-{i}", pid=i))
     if audit:
         events.extend(audit_counter_events(audit, pid=1))
+    if profile is not None:
+        events.extend(phase_trace_events(profile))
     with open(path, "w") as fh:
         json.dump(events, fh)
     return len(events)

@@ -21,6 +21,7 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional, Tuple
 
+from repro.perf.profiler import active as _profiler
 from repro.util import check_non_negative, get_logger
 
 __all__ = ["EventHandle", "SimulationEngine"]
@@ -167,24 +168,27 @@ class SimulationEngine:
             raise RuntimeError("SimulationEngine.run is not reentrant")
         self._running = True
         fired = 0
+        # one scoped timer per run() call (never per event), so the
+        # disabled profiler costs nothing measurable in the event loop
         try:
-            while self._heap:
-                if max_events is not None and fired >= max_events:
-                    return
-                time, seq, handle = self._heap[0]
-                if handle.cancelled:
+            with _profiler().phase("engine.run"):
+                while self._heap:
+                    if max_events is not None and fired >= max_events:
+                        return
+                    time, seq, handle = self._heap[0]
+                    if handle.cancelled:
+                        heapq.heappop(self._heap)
+                        continue
+                    if until is not None and time > until:
+                        break
                     heapq.heappop(self._heap)
-                    continue
-                if until is not None and time > until:
-                    break
-                heapq.heappop(self._heap)
-                self._now = time
-                handle.fired = True
-                self._events_fired += 1
-                handle.callback(*handle.args)
-                fired += 1
-            if until is not None and until > self._now:
-                self._now = until
+                    self._now = time
+                    handle.fired = True
+                    self._events_fired += 1
+                    handle.callback(*handle.args)
+                    fired += 1
+                if until is not None and until > self._now:
+                    self._now = until
         finally:
             self._running = False
             _log.debug(

@@ -26,7 +26,11 @@ tests) is still a complete record — the runtime fields just stay null.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.util import get_logger
 
 __all__ = [
     "AUDIT_SCHEMA",
@@ -50,6 +54,8 @@ __all__ = [
 
 #: Version stamp carried by every audit record and summary.
 AUDIT_SCHEMA = 1
+
+_log = get_logger(__name__)
 
 # candidate outcomes
 ACCEPTED = "accepted"
@@ -189,31 +195,72 @@ class AuditTrail:
 def write_audit_jsonl(records: Iterable[Mapping[str, Any]], path: Union[str, "Path"]) -> int:
     """Write one record per line (sorted keys — byte-deterministic).
 
+    The file is written to a temporary sibling and renamed into place,
+    so a killed sweep can never leave a half-written trail at the final
+    path — readers either see the complete file or none at all.
     Returns the number of records written.
     """
+    path = os.fspath(path)
     n = 0
-    with open(path, "w") as fh:
-        for record in records:
-            fh.write(json.dumps(record, sort_keys=True) + "\n")
-            n += 1
+    fd, tmp = tempfile.mkstemp(
+        dir=os.path.dirname(path) or ".", suffix=".jsonl.tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as fh:
+            for record in records:
+                fh.write(json.dumps(record, sort_keys=True) + "\n")
+                n += 1
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
     return n
 
 
 def read_audit_jsonl(path: Union[str, "Path"]) -> List[Dict[str, Any]]:
-    """Load an audit JSONL file back into a list of record dicts."""
+    """Load an audit JSONL file back into a list of record dicts.
+
+    A malformed **final** line after at least one valid record (the
+    classic truncation signature of a killed writer, e.g. a trail
+    produced by an older non-atomic writer or a copy cut mid-transfer)
+    is skipped with a warning so inspection of the surviving records
+    still works; a malformed line anywhere else — including a file with
+    no valid records at all — means the file is not an audit trail and
+    raises ``ValueError``.
+    """
     records: List[Dict[str, Any]] = []
     with open(path) as fh:
-        for line_no, line in enumerate(fh, start=1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                record = json.loads(line)
-            except json.JSONDecodeError as exc:
-                raise ValueError(f"{path}:{line_no}: not valid JSON: {exc}") from exc
-            if not isinstance(record, dict):
-                raise ValueError(f"{path}:{line_no}: audit record is not an object")
-            records.append(record)
+        lines = fh.readlines()
+    last_content = 0
+    for line_no, line in enumerate(lines, start=1):
+        if line.strip():
+            last_content = line_no
+    for line_no, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            if line_no == last_content and records:
+                _log.warning(
+                    "%s:%d: skipping malformed trailing line (%s) — "
+                    "likely a truncated write", path, line_no, exc,
+                )
+                break
+            raise ValueError(f"{path}:{line_no}: not valid JSON: {exc}") from exc
+        if not isinstance(record, dict):
+            if line_no == last_content and records:
+                _log.warning(
+                    "%s:%d: skipping non-object trailing record — "
+                    "likely a truncated write", path, line_no,
+                )
+                break
+            raise ValueError(f"{path}:{line_no}: audit record is not an object")
+        records.append(record)
     return records
 
 

@@ -1,0 +1,157 @@
+"""Unit tests for the noise-aware bench regression gate."""
+
+import copy
+
+import pytest
+
+from repro.perf.bench import HIGHER, LOWER
+from repro.perf.compare import (
+    DEFAULT_IQR_FACTOR,
+    DEFAULT_REL_THRESHOLD,
+    compare_bench,
+    format_compare_text,
+)
+
+
+def _metric(median, direction=HIGHER, iqr=0.0, unit="ops/s"):
+    return {
+        "suite": "micro", "unit": unit, "direction": direction,
+        "repeats": 5, "warmup": 2, "median": median, "iqr": iqr,
+        "mean": median, "p90": median, "samples": [median] * 5,
+    }
+
+
+def _bench(metrics, env=None):
+    return {
+        "schema": 1,
+        "kind": "repro-bench",
+        "env": env or {
+            "implementation": "CPython", "platform": "linux", "machine": "x86_64",
+        },
+        "metrics": metrics,
+    }
+
+
+BASE = _bench({
+    "engine.events_per_s": _metric(500_000.0),
+    "macro.smoke_s": _metric(2.0, direction=LOWER, unit="s"),
+})
+
+
+class TestVerdicts:
+    def test_unchanged_rerun_passes(self):
+        report = compare_bench(BASE, copy.deepcopy(BASE))
+        assert report.ok
+        assert {d.verdict for d in report.deltas} == {"ok"}
+
+    def test_2x_slowdown_regresses_for_both_directions(self):
+        """The acceptance criterion: an injected 2x slowdown is flagged."""
+        slow = copy.deepcopy(BASE)
+        slow["metrics"]["engine.events_per_s"]["median"] = 250_000.0  # throughput halves
+        slow["metrics"]["macro.smoke_s"]["median"] = 4.0  # wall time doubles
+        report = compare_bench(BASE, slow)
+        assert not report.ok
+        assert sorted(d.name for d in report.regressions) == [
+            "engine.events_per_s", "macro.smoke_s",
+        ]
+        for d in report.regressions:
+            assert d.factor == pytest.approx(2.0)
+
+    def test_improvement_is_reported_not_failed(self):
+        fast = copy.deepcopy(BASE)
+        fast["metrics"]["engine.events_per_s"]["median"] = 1_500_000.0
+        report = compare_bench(BASE, fast)
+        assert report.ok
+        (delta,) = [d for d in report.deltas if d.name == "engine.events_per_s"]
+        assert delta.verdict == "improved"
+        assert delta.factor == pytest.approx(1 / 3)
+
+    def test_change_within_the_relative_floor_is_ok(self):
+        near = copy.deepcopy(BASE)
+        near["metrics"]["engine.events_per_s"]["median"] = 450_000.0  # -10%
+        assert compare_bench(BASE, near).ok
+
+    def test_noisy_metric_widens_its_own_tolerance(self):
+        """A 1.5x swing on a metric whose IQR is 15% of the median must
+        not regress: tol = max(0.25, 4 * 0.15) = 0.6."""
+        noisy_base = _bench({"m": _metric(100.0, iqr=15.0)})
+        slower = _bench({"m": _metric(100.0 / 1.5)})
+        report = compare_bench(noisy_base, slower)
+        (delta,) = report.deltas
+        assert delta.tolerance == pytest.approx(0.6)
+        assert delta.verdict == "ok"
+        # the same swing on a quiet metric does regress
+        quiet_base = _bench({"m": _metric(100.0)})
+        assert not compare_bench(quiet_base, slower).ok
+
+    def test_added_and_removed_metrics_never_fail_the_gate(self):
+        current = copy.deepcopy(BASE)
+        del current["metrics"]["macro.smoke_s"]
+        current["metrics"]["new.metric"] = _metric(1.0)
+        report = compare_bench(BASE, current)
+        assert report.ok
+        verdicts = {d.name: d.verdict for d in report.deltas}
+        assert verdicts["new.metric"] == "added"
+        assert verdicts["macro.smoke_s"] == "removed"
+        assert any("new.metric" in n for n in report.notes)
+
+    def test_non_positive_medians_are_skipped_with_a_note(self):
+        zero = _bench({"m": _metric(0.0)})
+        report = compare_bench(zero, _bench({"m": _metric(5.0)}))
+        assert report.ok
+        assert any("non-positive" in n for n in report.notes)
+
+
+class TestEnvironmentGuard:
+    def test_machine_mismatch_refuses_to_compare(self):
+        other = copy.deepcopy(BASE)
+        other["env"]["machine"] = "arm64"
+        with pytest.raises(ValueError, match="not comparable"):
+            compare_bench(BASE, other)
+
+    def test_mismatch_can_be_overridden_but_is_recorded(self):
+        other = copy.deepcopy(BASE)
+        other["env"]["machine"] = "arm64"
+        report = compare_bench(BASE, other, allow_env_mismatch=True)
+        assert report.env_mismatch == ("machine",)
+        assert "environment mismatch" in format_compare_text(report)
+
+    def test_missing_env_fields_are_not_a_mismatch(self):
+        bare = copy.deepcopy(BASE)
+        bare["env"] = {}
+        assert compare_bench(BASE, bare).ok
+
+
+class TestThresholds:
+    def test_defaults_are_wired_through(self):
+        report = compare_bench(BASE, copy.deepcopy(BASE))
+        assert report.rel_threshold == DEFAULT_REL_THRESHOLD
+        assert report.iqr_factor == DEFAULT_IQR_FACTOR
+
+    def test_negative_thresholds_rejected(self):
+        with pytest.raises(ValueError, match="rel_threshold"):
+            compare_bench(BASE, BASE, rel_threshold=-0.1)
+        with pytest.raises(ValueError, match="iqr_factor"):
+            compare_bench(BASE, BASE, iqr_factor=-1.0)
+
+    def test_tighter_threshold_catches_smaller_slips(self):
+        near = copy.deepcopy(BASE)
+        near["metrics"]["engine.events_per_s"]["median"] = 450_000.0  # -10%
+        assert not compare_bench(BASE, near, rel_threshold=0.05).ok
+
+
+class TestReporting:
+    def test_to_dict_is_json_shaped(self):
+        slow = copy.deepcopy(BASE)
+        slow["metrics"]["macro.smoke_s"]["median"] = 4.0
+        d = compare_bench(BASE, slow).to_dict()
+        assert d["ok"] is False
+        assert d["regressions"] == ["macro.smoke_s"]
+        assert {m["name"] for m in d["metrics"]} == set(BASE["metrics"])
+
+    def test_text_verdict_lines(self):
+        assert "PASS" in format_compare_text(compare_bench(BASE, BASE))
+        slow = copy.deepcopy(BASE)
+        slow["metrics"]["macro.smoke_s"]["median"] = 4.0
+        text = format_compare_text(compare_bench(BASE, slow))
+        assert "FAIL" in text and "REGRESSION" in text

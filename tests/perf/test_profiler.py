@@ -1,0 +1,245 @@
+"""Unit tests for the phase profiler and its zero-overhead null path."""
+
+import json
+import tracemalloc
+
+from repro.perf.profiler import (
+    NULL_PROFILER,
+    PROFILE_SCHEMA,
+    PhaseProfiler,
+    _NULL_PHASE,
+    active,
+    install,
+    phase_trace_events,
+    profiled,
+)
+
+
+class TestPhaseTiming:
+    def test_phase_records_count_and_span_statistics(self):
+        prof = PhaseProfiler()
+        for _ in range(3):
+            with prof.phase("work"):
+                pass
+        snap = prof.snapshot()["phases"]["work"]
+        assert snap["count"] == 3
+        assert snap["total_s"] >= 0.0
+        assert 0.0 <= snap["min_s"] <= snap["max_s"]
+        assert snap["mean_s"] * 3 == snap["total_s"]
+
+    def test_phase_objects_are_memoised_by_name(self):
+        prof = PhaseProfiler()
+        assert prof.phase("a") is prof.phase("a")
+        assert prof.phase("a") is not prof.phase("b")
+
+    def test_nested_reentry_of_the_same_phase_counts_both_spans(self):
+        """The start-time stack keeps recursive entries correct."""
+        prof = PhaseProfiler()
+        with prof.phase("lb.decide"):
+            with prof.phase("lb.decide"):
+                pass
+        snap = prof.snapshot()["phases"]["lb.decide"]
+        assert snap["count"] == 2
+        # the outer span encloses the inner one
+        assert snap["max_s"] >= snap["min_s"]
+        assert snap["total_s"] >= snap["max_s"]
+
+    def test_unentered_phase_is_absent_from_snapshot(self):
+        prof = PhaseProfiler()
+        prof.phase("never")
+        assert prof.snapshot()["phases"] == {}
+
+    def test_snapshot_is_sorted(self):
+        prof = PhaseProfiler()
+        with prof.phase("z"):
+            pass
+        with prof.phase("a"):
+            pass
+        assert list(prof.snapshot()["phases"]) == ["a", "z"]
+
+
+class TestTallies:
+    def test_tally_accumulates_count_and_amount(self):
+        prof = PhaseProfiler()
+        prof.tally("net.message_time", 1024.0)
+        prof.tally("net.message_time", 512.0)
+        t = prof.snapshot()["tallies"]["net.message_time"]
+        assert t == {"count": 2.0, "total": 1536.0}
+
+    def test_tally_defaults_to_one(self):
+        prof = PhaseProfiler()
+        prof.tally("events")
+        assert prof.snapshot()["tallies"]["events"]["total"] == 1.0
+
+
+class TestDisabledPath:
+    def test_disabled_profiler_hands_out_the_shared_null_phase(self):
+        prof = PhaseProfiler(enabled=False)
+        assert prof.phase("x") is _NULL_PHASE
+        assert prof.phase("y") is _NULL_PHASE
+        assert NULL_PROFILER.phase("anything") is _NULL_PHASE
+
+    def test_disabled_profiler_records_nothing(self):
+        prof = PhaseProfiler(enabled=False)
+        with prof.phase("x"):
+            pass
+        prof.tally("t", 5.0)
+        assert prof.snapshot() == {"phases": {}, "tallies": {}}
+
+    def test_null_path_allocates_nothing_per_scope(self):
+        """The acceptance criterion's mechanism: a disabled profiler costs
+        one method call and zero allocation per instrumented scope."""
+        prof = PhaseProfiler(enabled=False)
+        with prof.phase("warm"):  # warm the lookup path
+            pass
+        tracemalloc.start()
+        try:
+            before, _ = tracemalloc.get_traced_memory()
+            for _ in range(1000):
+                with prof.phase("warm"):
+                    pass
+                prof.tally("warm", 1.0)
+            after, _ = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        assert after - before < 512
+
+
+class TestInstall:
+    def test_default_active_profiler_is_the_null_singleton(self):
+        assert active() is NULL_PROFILER
+
+    def test_install_and_reset(self):
+        prof = PhaseProfiler()
+        try:
+            assert install(prof) is prof
+            assert active() is prof
+        finally:
+            install(None)
+        assert active() is NULL_PROFILER
+
+    def test_profiled_installs_for_the_dynamic_extent_only(self):
+        with profiled() as prof:
+            assert active() is prof
+            assert prof.enabled
+        assert active() is NULL_PROFILER
+
+    def test_profiled_restores_previous_profiler_on_exception(self):
+        outer = PhaseProfiler()
+        with profiled(outer):
+            try:
+                with profiled() as inner:
+                    assert active() is inner
+                    raise RuntimeError("boom")
+            except RuntimeError:
+                pass
+            assert active() is outer
+        assert active() is NULL_PROFILER
+
+
+class TestExport:
+    def test_export_is_schema_versioned_and_json_safe(self):
+        with profiled() as prof:
+            with prof.phase("p"):
+                pass
+        out = prof.export()
+        assert out["schema"] == PROFILE_SCHEMA
+        assert json.loads(json.dumps(out)) == out
+
+    def test_intervals_recorded_only_on_request(self):
+        plain = PhaseProfiler()
+        with plain.phase("p"):
+            pass
+        assert plain.export()["intervals"] == []
+
+        recording = PhaseProfiler(record_intervals=True)
+        with recording.phase("p"):
+            pass
+        (interval,) = recording.export()["intervals"]
+        name, start, end = interval
+        assert name == "p"
+        # rebased to the profiler's construction epoch
+        assert 0.0 <= start <= end < 60.0
+
+
+class TestTraceEvents:
+    def _recorded(self):
+        prof = PhaseProfiler(record_intervals=True)
+        with prof.phase("outer"):
+            with prof.phase("inner"):
+                pass
+        return prof
+
+    def test_metadata_names_the_profiler_lane(self):
+        events = phase_trace_events(self._recorded())
+        meta = [e for e in events if e["ph"] == "M"]
+        assert {e["name"] for e in meta} == {"process_name", "thread_name"}
+        assert all(e["pid"] == 99 for e in meta)
+
+    def test_one_complete_event_per_interval_in_microseconds(self):
+        prof = self._recorded()
+        events = phase_trace_events(prof, pid=7)
+        spans = [e for e in events if e["ph"] == "X"]
+        assert [e["name"] for e in spans] == ["inner", "outer"]
+        for e, (name, start, end) in zip(spans, prof.export()["intervals"]):
+            assert e["pid"] == 7
+            assert e["ts"] == start * 1e6
+            assert e["dur"] == (end - start) * 1e6
+
+    def test_accepts_an_exported_dict(self):
+        prof = self._recorded()
+        assert phase_trace_events(prof.export()) == phase_trace_events(prof)
+
+
+class TestInstrumentedHotPaths:
+    def test_engine_run_is_timed_once_per_run_not_per_event(self):
+        """The <2% disabled-overhead budget holds because the engine pays
+        one phase entry per run() call, never per event."""
+        from repro.sim import SimulationEngine
+
+        eng = SimulationEngine()
+        fired = [0]
+
+        def tick():
+            fired[0] += 1
+            if fired[0] < 100:
+                eng.schedule_after(0.001, tick)
+
+        eng.schedule_after(0.001, tick)
+        with profiled() as prof:
+            eng.run()
+        snap = prof.snapshot()["phases"]
+        assert fired[0] == 100
+        assert snap["engine.run"]["count"] == 1
+
+    def test_balancer_decide_and_netmodel_tallies_are_profiled(self):
+        from repro.cluster import NetworkModel
+        from repro.core import CoreLoad, GreedyLB, LBView, TaskRecord
+
+        view = LBView(
+            cores=(
+                CoreLoad(0, (TaskRecord(("a", 0), 0.4, 100.0),), 0.2),
+                CoreLoad(1, (), 0.0),
+            ),
+            window=1.0,
+        )
+        net = NetworkModel.virtualized()
+        with profiled() as prof:
+            GreedyLB(aware=True).balance(view)
+            net.message_time(2048.0)
+        snap = prof.snapshot()
+        assert snap["phases"]["lb.decide"]["count"] == 1
+        assert snap["phases"]["lb.greedy.sort"]["count"] == 1
+        assert snap["tallies"]["net.message_time"] == {
+            "count": 1.0,
+            "total": 2048.0,
+        }
+
+    def test_unprofiled_runs_stay_silent(self):
+        """Without an installed profiler nothing observes the run."""
+        from repro.sim import SimulationEngine
+
+        eng = SimulationEngine()
+        eng.schedule_after(0.001, lambda: None)
+        eng.run()  # must not raise, and NULL_PROFILER stays empty
+        assert NULL_PROFILER.snapshot() == {"phases": {}, "tallies": {}}

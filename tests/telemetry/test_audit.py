@@ -134,17 +134,60 @@ class TestJsonlIO:
         write_audit_jsonl(json.loads(json.dumps(trail.records)), b)
         assert a.read_bytes() == b.read_bytes()
 
-    def test_read_rejects_bad_json_with_location(self, tmp_path):
+    def test_read_rejects_bad_json_mid_file_with_location(self, tmp_path):
         path = tmp_path / "bad.jsonl"
-        path.write_text('{"ok": 1}\n{broken\n')
-        with pytest.raises(ValueError, match=r"bad\.jsonl:2"):
+        path.write_text('{broken\n{"ok": 1}\n')
+        with pytest.raises(ValueError, match=r"bad\.jsonl:1"):
             read_audit_jsonl(path)
 
-    def test_read_rejects_non_object_records(self, tmp_path):
+    def test_read_rejects_non_object_records_mid_file(self, tmp_path):
         path = tmp_path / "list.jsonl"
+        path.write_text('[1, 2]\n{"ok": 1}\n')
+        with pytest.raises(ValueError, match="not an object"):
+            read_audit_jsonl(path)
+
+    def test_read_skips_malformed_trailing_line_with_warning(self, tmp_path, caplog):
+        """A truncated final line (killed writer) must not lose the trail."""
+        path = tmp_path / "trunc.jsonl"
+        path.write_text('{"ok": 1}\n{"step": 2, "mig')
+        with caplog.at_level("WARNING", logger="repro.telemetry.audit"):
+            loaded = read_audit_jsonl(path)
+        assert loaded == [{"ok": 1}]
+        assert any("trailing line" in r.message for r in caplog.records)
+
+    def test_read_skips_non_object_trailing_record(self, tmp_path, caplog):
+        path = tmp_path / "list.jsonl"
+        path.write_text('{"ok": 1}\n[1, 2]\n')
+        with caplog.at_level("WARNING", logger="repro.telemetry.audit"):
+            loaded = read_audit_jsonl(path)
+        assert loaded == [{"ok": 1}]
+        assert any("non-object trailing" in r.message for r in caplog.records)
+
+    def test_all_malformed_file_still_raises(self, tmp_path):
+        """Trailing-line tolerance needs surviving records — a file that
+        is nothing but garbage is not a truncated trail."""
+        path = tmp_path / "garbage.jsonl"
+        path.write_text("{broken\n")
+        with pytest.raises(ValueError, match=r"garbage\.jsonl:1"):
+            read_audit_jsonl(path)
         path.write_text("[1, 2]\n")
         with pytest.raises(ValueError, match="not an object"):
             read_audit_jsonl(path)
+
+    def test_write_is_atomic_on_failure(self, tmp_path):
+        """An exploding record iterator must not leave a partial file."""
+        path = tmp_path / "atomic.jsonl"
+        path.write_text('{"previous": true}\n')
+
+        def exploding():
+            yield {"ok": 1}
+            raise RuntimeError("killed mid-write")
+
+        with pytest.raises(RuntimeError, match="killed mid-write"):
+            write_audit_jsonl(exploding(), path)
+        # the prior contents survive and no temp file is left behind
+        assert path.read_text() == '{"previous": true}\n'
+        assert list(tmp_path.glob("*.tmp")) == []
 
 
 class TestAuditSummary:

@@ -7,6 +7,7 @@ import pytest
 from repro.telemetry.registry import (
     DEFAULT_DURATION_BUCKETS_S,
     NULL_REGISTRY,
+    SUMMARY_QUANTILES,
     Counter,
     Gauge,
     Histogram,
@@ -14,6 +15,8 @@ from repro.telemetry.registry import (
     _NULL_COUNTER,
     _NULL_GAUGE,
     _NULL_HISTOGRAM,
+    sample_quantile,
+    summarize_samples,
 )
 
 
@@ -47,6 +50,85 @@ class TestInstruments:
             Histogram("d", bounds=[])
         with pytest.raises(ValueError, match="sorted, non-empty"):
             Histogram("d", bounds=[2.0, 1.0])
+
+
+class TestSampleQuantiles:
+    def test_linear_interpolation_matches_type7(self):
+        """The numpy-default (type-7) estimator over sorted samples."""
+        samples = [1.0, 2.0, 3.0, 4.0]
+        assert sample_quantile(samples, 0.0) == 1.0
+        assert sample_quantile(samples, 0.5) == 2.5
+        assert sample_quantile(samples, 1.0) == 4.0
+        assert sample_quantile(list(range(1, 11)), 0.9) == pytest.approx(9.1)
+        assert sample_quantile(list(range(1, 11)), 0.99) == pytest.approx(9.91)
+
+    def test_input_order_does_not_matter(self):
+        assert sample_quantile([4.0, 1.0, 3.0, 2.0], 0.5) == 2.5
+
+    def test_degenerate_inputs(self):
+        assert sample_quantile([], 0.5) == 0.0
+        assert sample_quantile([7.0], 0.99) == 7.0
+
+    def test_out_of_range_quantile_rejected(self):
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            sample_quantile([1.0], 1.5)
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            sample_quantile([1.0], -0.1)
+
+    def test_summarize_samples_reports_the_shared_quantiles(self):
+        """One summary shape for inspect and bench reports."""
+        s = summarize_samples(list(range(1, 11)))
+        assert set(s) == {"count", "mean", "p50", "p90", "p99"}
+        assert s["count"] == 10.0
+        assert s["mean"] == pytest.approx(5.5)
+        assert s["p50"] == pytest.approx(5.5)
+        assert s["p90"] == pytest.approx(9.1)
+        assert s["p99"] == pytest.approx(9.91)
+        assert summarize_samples([]) == {
+            "count": 0.0, "mean": 0.0, "p50": 0.0, "p90": 0.0, "p99": 0.0,
+        }
+
+    def test_summary_keys_track_the_shared_quantile_tuple(self):
+        keys = {f"p{int(q * 100)}" for q in SUMMARY_QUANTILES}
+        assert keys <= set(summarize_samples([1.0]))
+
+
+class TestHistogramQuantiles:
+    def test_interpolates_within_the_target_bucket(self):
+        h = Histogram("d", bounds=[1.0, 2.0, 4.0])
+        for v in (0.5, 1.5, 1.5, 3.0):
+            h.observe(v)
+        # rank 2 of 4 lands at the end of the (1, 2] bucket's first half
+        assert h.quantile(0.5) == pytest.approx(1.5)
+        # the first bucket interpolates from 0, not -inf
+        assert 0.0 < h.quantile(0.1) <= 1.0
+
+    def test_overflow_bucket_reports_the_last_bound(self):
+        h = Histogram("d", bounds=[1.0, 10.0])
+        h.observe(1000.0)
+        assert h.quantile(0.99) == 10.0
+
+    def test_empty_histogram_quantile_is_zero(self):
+        assert Histogram("d", bounds=[1.0]).quantile(0.5) == 0.0
+
+    def test_out_of_range_quantile_rejected(self):
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            Histogram("d", bounds=[1.0]).quantile(2.0)
+
+    def test_percentiles_uses_the_repo_standard_quantiles(self):
+        h = Histogram("d", bounds=[1.0, 2.0])
+        h.observe(0.5)
+        p = h.percentiles()
+        assert set(p) == {"p50", "p90", "p99"}
+        assert p["p50"] == h.quantile(0.5)
+
+    def test_snapshot_carries_percentile_estimates(self):
+        reg = MetricsRegistry()
+        for v in (0.5, 1.5, 3.0):
+            reg.histogram("lat", bounds=[1.0, 2.0, 4.0]).observe(v)
+        snap = reg.snapshot()["histograms"]["lat"]
+        assert snap["percentiles"] == reg.histogram("lat").percentiles()
+        assert snap["percentiles"]["p50"] <= snap["percentiles"]["p99"]
 
 
 class TestRegistry:

@@ -209,3 +209,102 @@ def test_log_level_flag_configures_root_logger(capsys):
         assert root.level == logging.WARNING
     finally:
         root.setLevel(before)
+
+
+_FAST_BENCH = ["bench", "--suite", "micro", "--repeats", "1", "--warmup", "0",
+               "--filter", "net.message_time"]
+
+
+def test_bench_writes_schema_versioned_trajectory_entry(tmp_path, capsys,
+                                                        monkeypatch):
+    import json
+
+    monkeypatch.setenv("REPRO_GIT_SHA", "feedbeef")
+    traj = tmp_path / "traj"
+    rc = main(_FAST_BENCH + ["--trajectory-dir", str(traj),
+                             "--output", str(tmp_path)])
+    assert rc == 0
+    captured = capsys.readouterr()
+    assert "repro bench — 1 metrics" in captured.out
+    assert "net.message_time_per_s" in captured.out
+    entry = traj / "BENCH_feedbeef.json"
+    assert entry.exists()
+    data = json.loads(entry.read_text())
+    assert data["schema"] == 1 and data["kind"] == "repro-bench"
+    assert data["env"]["git_sha"] == "feedbeef"
+    assert (tmp_path / "bench.txt").exists()
+
+
+def test_bench_no_save_leaves_no_trajectory(tmp_path, capsys):
+    traj = tmp_path / "traj"
+    assert main(_FAST_BENCH + ["--trajectory-dir", str(traj),
+                               "--no-save"]) == 0
+    assert not traj.exists()
+
+
+def test_bench_compare_passes_unchanged_and_fails_on_slowdown(tmp_path,
+                                                              capsys):
+    import json
+
+    traj = tmp_path / "traj"
+    assert main(_FAST_BENCH + ["--trajectory-dir", str(traj)]) == 0
+    (baseline,) = traj.glob("BENCH_*.json")
+    capsys.readouterr()
+
+    # replaying the identical result against itself must pass
+    rc = main(["bench", "--replay", str(baseline),
+               "--compare", str(baseline)])
+    assert rc == 0
+    assert "PASS — no regressions" in capsys.readouterr().out
+
+    # an injected 2x slowdown must fail with exit code 1
+    slow = json.loads(baseline.read_text())
+    for m in slow["metrics"].values():
+        m["median"] /= 2.0
+        m["samples"] = [s / 2.0 for s in m["samples"]]
+    slow_path = tmp_path / "slow.json"
+    slow_path.write_text(json.dumps(slow))
+    rc = main(["bench", "--replay", str(slow_path),
+               "--compare", str(baseline)])
+    assert rc == 1
+    out = capsys.readouterr().out
+    assert "REGRESSION" in out and "FAIL" in out
+
+
+def test_bench_compare_json_report(tmp_path, capsys):
+    import json
+
+    traj = tmp_path / "traj"
+    assert main(_FAST_BENCH + ["--trajectory-dir", str(traj), "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert "result" in payload and "comparison" not in payload
+    (baseline,) = traj.glob("BENCH_*.json")
+    assert main(["bench", "--replay", str(baseline),
+                 "--compare", str(baseline), "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["comparison"]["ok"] is True
+
+
+def test_bench_usage_errors_are_clean(tmp_path, capsys):
+    assert main(["bench", "--replay", "x.json"]) == 2
+    assert "--replay requires --compare" in capsys.readouterr().err
+
+    assert main(_FAST_BENCH + ["--no-save",
+                               "--compare", str(tmp_path / "nope.json")]) == 2
+    assert "repro bench: error:" in capsys.readouterr().err
+
+    assert main(["bench", "--no-save", "--filter", "no-such-metric"]) == 2
+    assert "no benchmarks match" in capsys.readouterr().err
+
+
+def test_bench_profile_writes_phase_profile_and_trace(tmp_path, capsys):
+    import json
+
+    rc = main(_FAST_BENCH + ["--no-save", "--profile", str(tmp_path / "prof")])
+    assert rc == 0
+    profile = json.loads((tmp_path / "prof" / "profile.json").read_text())
+    assert "engine.run" in profile["phases"]
+    assert profile["intervals"], "profiled run records intervals"
+    events = json.loads((tmp_path / "prof" / "profile.trace.json").read_text())
+    assert any(e.get("cat") == "profile" for e in events)
+    assert any(e.get("ph") == "C" for e in events)
