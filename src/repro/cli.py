@@ -11,6 +11,11 @@ writing code::
     python -m repro demo --cores 16
     python -m repro sweep --preset fig2 --workers 4
     python -m repro sweep --spec my_sweep.json -j 4 --jsonl progress.jsonl
+    python -m repro sweep --preset smoke --live
+    python -m repro watch progress.jsonl --follow
+    python -m repro runs list
+    python -m repro runs check latest
+    python -m repro report
     python -m repro bench --suite micro
     python -m repro bench --compare benchmarks/trajectory/baseline.json
 
@@ -177,8 +182,101 @@ def build_parser() -> argparse.ArgumentParser:
         "Chrome/Perfetto traces for executed points) into DIR",
     )
     psw.add_argument(
+        "--live", action="store_true",
+        help="render live progress (per-worker state, throughput, ETA) "
+        "to stderr while the sweep runs",
+    )
+    psw.add_argument(
+        "--registry", type=Path, default=None, metavar="DIR",
+        help="run registry location (default: results/registry, or "
+        "$REPRO_REGISTRY_DIR)",
+    )
+    psw.add_argument(
+        "--no-registry", action="store_true",
+        help="do not record this sweep in the run registry",
+    )
+    psw.add_argument(
         "--output", type=Path, default=None, metavar="DIR",
         help="also write the result table into DIR/sweep_<name>.txt",
+    )
+
+    pw = sub.add_parser(
+        "watch",
+        help="render live sweep progress from a --jsonl event file",
+    )
+    pw.add_argument(
+        "path", type=Path, metavar="FILE",
+        help="progress JSONL file written by 'sweep --jsonl'",
+    )
+    pw.add_argument(
+        "--follow", "-f", action="store_true",
+        help="keep tailing the file and re-render as events arrive",
+    )
+    pw.add_argument(
+        "--interval", type=float, default=0.5, metavar="S",
+        help="poll interval in seconds while following (default: 0.5)",
+    )
+    pw.add_argument(
+        "--timeout", type=float, default=None, metavar="S",
+        help="stop following after S seconds without new events",
+    )
+
+    prep = sub.add_parser(
+        "report",
+        help="write the self-contained HTML observability dashboard",
+    )
+    prep.add_argument(
+        "--registry", type=Path, default=None, metavar="DIR",
+        help="run registry location (default: results/registry, or "
+        "$REPRO_REGISTRY_DIR)",
+    )
+    prep.add_argument(
+        "--trajectory-dir", type=Path, default=Path("benchmarks/trajectory"),
+        metavar="DIR",
+        help="bench trajectory directory to trend "
+        "(default: benchmarks/trajectory)",
+    )
+    prep.add_argument(
+        "--output", type=Path, default=Path("results/report.html"),
+        metavar="FILE",
+        help="where to write the HTML (default: results/report.html)",
+    )
+
+    pruns = sub.add_parser("runs", help="query the cross-run registry")
+    pruns.add_argument(
+        "--registry", type=Path, default=None, metavar="DIR",
+        help="run registry location (default: results/registry, or "
+        "$REPRO_REGISTRY_DIR)",
+    )
+    runs_sub = pruns.add_subparsers(dest="runs_command", required=True)
+    runs_sub.add_parser("list", help="list every registered run")
+    prs = runs_sub.add_parser("show", help="print one run record as JSON")
+    prs.add_argument(
+        "ref", metavar="REF",
+        help="run id, unique prefix, 'latest', or 'latest:<name>'",
+    )
+    prd = runs_sub.add_parser("diff", help="compare two runs point by point")
+    prd.add_argument("ref_a", metavar="REF_A", help="baseline run ref")
+    prd.add_argument("ref_b", metavar="REF_B", help="candidate run ref")
+    prd.add_argument(
+        "--json", action="store_true",
+        help="emit the structured diff as JSON instead of text",
+    )
+    prc = runs_sub.add_parser(
+        "check",
+        help="run the anomaly detectors on a run; exit 1 on error findings",
+    )
+    prc.add_argument(
+        "ref", nargs="?", default="latest", metavar="REF",
+        help="run to check (default: latest)",
+    )
+    prc.add_argument(
+        "--trajectory-dir", type=Path, default=None, metavar="DIR",
+        help="also check the bench trajectory in DIR for regressions",
+    )
+    prc.add_argument(
+        "--json", action="store_true",
+        help="emit findings as JSON instead of text",
     )
 
     pb = sub.add_parser(
@@ -212,6 +310,15 @@ def build_parser() -> argparse.ArgumentParser:
     pb.add_argument(
         "--no-save", action="store_true",
         help="do not append this run to the trajectory directory",
+    )
+    pb.add_argument(
+        "--registry", type=Path, default=None, metavar="DIR",
+        help="run registry location for saved runs (default: "
+        "results/registry, or $REPRO_REGISTRY_DIR)",
+    )
+    pb.add_argument(
+        "--no-registry", action="store_true",
+        help="do not record this bench run in the run registry",
     )
     pb.add_argument(
         "--compare", type=Path, default=None, metavar="BASELINE",
@@ -415,22 +522,38 @@ def _cmd_sweep(args) -> int:
     if not args.no_cache:
         cache = ResultCache(args.cache_dir or default_cache_dir())
 
+    registry = None
+    if not args.no_registry:
+        from repro.obs.registry import RunRegistry, default_registry_dir
+
+        registry = RunRegistry(args.registry or default_registry_dir())
+
+    on_event = None
+    if args.live:
+        from repro.obs.watch import LiveWatch
+
+        on_event = LiveWatch(sys.stderr).on_event
+
     jsonl_stream = None
     try:
         if args.jsonl is not None:
             args.jsonl.parent.mkdir(parents=True, exist_ok=True)
             jsonl_stream = open(args.jsonl, "a")
-        log = EventLog(stream=jsonl_stream)
+        log = EventLog(stream=jsonl_stream, on_event=on_event)
         result = run_sweep(
             spec,
             workers=args.workers,
             cache=cache,
             log=log,
             audit_dir=args.audit,
+            registry=registry,
         )
     finally:
         if jsonl_stream is not None:
             jsonl_stream.close()
+
+    for event in log.of_type("run_registered"):
+        print(f"[registered as run {event['run_id']}]", file=sys.stderr)
 
     text = result.text()
     if args.preset == "fig2" or (args.spec and spec.name == "fig2"):
@@ -453,7 +576,9 @@ def _cmd_inspect(args) -> int:
         return 2
     try:
         report = inspect_audit(args.path, top=args.top)
-    except (FileNotFoundError, ValueError) as exc:
+    except (ValueError, OSError) as exc:
+        # missing dir, empty dir, unreadable files, malformed JSONL —
+        # all are one clean line on stderr, never a traceback
         print(f"repro inspect: error: {exc}", file=sys.stderr)
         return 2
     if args.json:
@@ -508,6 +633,16 @@ def _cmd_bench(args) -> int:
     saved: Optional[Path] = None
     if args.replay is None and not args.no_save:
         saved = save_bench(current, args.trajectory_dir / bench_filename(current))
+        if not args.no_registry:
+            from repro.obs.registry import RunRegistry, default_registry_dir
+
+            registry = RunRegistry(args.registry or default_registry_dir())
+            record = registry.ingest_bench(
+                current, artifacts={"trajectory_entry": saved}
+            )
+            print(
+                f"[registered as run {record['run_id']}]", file=sys.stderr
+            )
 
     report = None
     if args.compare is not None:
@@ -568,6 +703,142 @@ def _cmd_bench(args) -> int:
     return 0 if report is None or report.ok else 1
 
 
+def _cmd_watch(args) -> int:
+    from repro.obs.watch import watch_file
+
+    if args.interval <= 0:
+        print(
+            f"repro watch: error: --interval must be > 0, got {args.interval}",
+            file=sys.stderr,
+        )
+        return 2
+    return watch_file(
+        args.path,
+        follow=args.follow,
+        interval=args.interval,
+        timeout_s=args.timeout,
+    )
+
+
+def _cmd_report(args) -> int:
+    from repro.obs.registry import default_registry_dir
+    from repro.obs.report import write_report
+
+    try:
+        data = write_report(
+            args.output,
+            args.registry or default_registry_dir(),
+            trajectory_dir=args.trajectory_dir,
+        )
+    except (ValueError, OSError) as exc:
+        print(f"repro report: error: {exc}", file=sys.stderr)
+        return 2
+    errors = sum(1 for f in data["findings"] if f["severity"] == "error")
+    print(
+        f"[report written to {args.output}: {len(data['runs'])} run(s), "
+        f"{len(data['findings'])} finding(s), {errors} error(s)]"
+    )
+    return 0
+
+
+def _format_diff_text(diff: dict) -> str:
+    lines = [f"diff {diff['a']} .. {diff['b']}"]
+    for label in diff["only_a"]:
+        lines.append(f"  - {label} (only in {diff['a']})")
+    for label in diff["only_b"]:
+        lines.append(f"  + {label} (only in {diff['b']})")
+    for label, deltas in diff["changed"].items():
+        lines.append(f"  ~ {label}")
+        for field, (va, vb, rel) in deltas.items():
+            rel_txt = f" ({rel * 100.0:+.1f}%)" if rel is not None else ""
+            lines.append(f"      {field}: {va} -> {vb}{rel_txt}")
+    lines.append(
+        f"  {len(diff['identical'])} identical point(s), "
+        f"{len(diff['changed'])} changed"
+    )
+    return "\n".join(lines)
+
+
+def _cmd_runs(args) -> int:
+    import json
+
+    from repro.experiments.tables import format_table
+    from repro.obs.anomaly import check_bench_trajectory, check_run, has_errors
+    from repro.obs.registry import RunRegistry, default_registry_dir, diff_runs
+
+    registry = RunRegistry(args.registry or default_registry_dir())
+
+    if args.runs_command == "list":
+        runs = registry.list()
+        if not runs:
+            print(f"registry at {registry.root} is empty")
+            return 0
+        print(
+            format_table(
+                ["run id", "kind", "name", "created (UTC)", "git sha", "points"],
+                [
+                    (
+                        r["run_id"],
+                        r.get("kind", "?"),
+                        r.get("name", "?"),
+                        r.get("created_utc", ""),
+                        str(r.get("git_sha", ""))[:12],
+                        r.get("points", 0),
+                    )
+                    for r in runs
+                ],
+                title=f"{len(runs)} registered run(s) in {registry.root}",
+            )
+        )
+        return 0
+
+    try:
+        if args.runs_command == "show":
+            record = registry.load(args.ref)
+            print(json.dumps(record, indent=1, sort_keys=True))
+            return 0
+
+        if args.runs_command == "diff":
+            diff = diff_runs(registry.load(args.ref_a), registry.load(args.ref_b))
+            if args.json:
+                print(json.dumps(diff, indent=1, sort_keys=True))
+            else:
+                print(_format_diff_text(diff))
+            return 0
+
+        # check
+        record = registry.load(args.ref)
+        history = registry.history(
+            record["name"],
+            kind=record.get("kind", "sweep"),
+            before=record["run_id"],
+        )
+        findings = check_run(record, history)
+        if args.trajectory_dir is not None:
+            from repro.obs.report import _load_trajectory
+
+            findings = findings + check_bench_trajectory(
+                _load_trajectory(args.trajectory_dir)
+            )
+    except (ValueError, OSError) as exc:
+        print(f"repro runs: error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.json:
+        print(json.dumps([f.to_dict() for f in findings], indent=1))
+    elif not findings:
+        print(f"ok: no findings for run {record['run_id']}")
+    else:
+        for f in findings:
+            print(f"{f.severity.upper():8s} [{f.rule}] {f.subject}: {f.message}")
+        errors = sum(1 for f in findings if f.severity == "error")
+        print(
+            f"{len(findings)} finding(s) for run {record['run_id']} "
+            f"({errors} error(s))"
+        )
+    return 1 if has_errors(findings) else 0
+
+
 _COMMANDS = {
     "fig1": _cmd_fig1,
     "fig2": _cmd_fig2,
@@ -576,6 +847,9 @@ _COMMANDS = {
     "headline": _cmd_headline,
     "demo": _cmd_demo,
     "sweep": _cmd_sweep,
+    "watch": _cmd_watch,
+    "report": _cmd_report,
+    "runs": _cmd_runs,
     "bench": _cmd_bench,
     "inspect": _cmd_inspect,
 }

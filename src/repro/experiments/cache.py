@@ -140,6 +140,14 @@ class ResultCache:
         extras = entry.get("extras")
         return extras if isinstance(extras, dict) else None
 
+    def get_provenance(self, key: str) -> Optional[Dict[str, Any]]:
+        """The entry's provenance stamp, or None (pre-stamp entries)."""
+        entry = self._entry(key)
+        if entry is None:
+            return None
+        provenance = entry.get("provenance")
+        return provenance if isinstance(provenance, dict) else None
+
     def put(
         self,
         key: str,
@@ -153,7 +161,16 @@ class ResultCache:
         ``extras`` carries optional JSON-able side payloads (the telemetry
         audit section) without touching the summary schema the golden
         tests pin.
+
+        Every entry is stamped with a ``provenance`` section (schema
+        version, git SHA, the point's RNG seed, short code fingerprint)
+        so registry ingest and post-hoc audits can attribute a cached
+        point to the exact source tree and seed that produced it.
+        Provenance is informational only — it never participates in the
+        cache key or in hit/miss decisions.
         """
+        from repro.util.provenance import git_sha
+
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         entry = {
@@ -161,6 +178,12 @@ class ResultCache:
             "key": key,
             "params": params,
             "summary": summary,
+            "provenance": {
+                "schema": CACHE_FORMAT,
+                "git_sha": git_sha(),
+                "seed": params.get("seed"),
+                "code_fingerprint": code_fingerprint()[:16],
+            },
         }
         if extras is not None:
             entry["extras"] = extras

@@ -57,6 +57,7 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import (
+    TYPE_CHECKING,
     Any,
     Dict,
     List,
@@ -66,6 +67,9 @@ from typing import (
     Tuple,
     Union,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - annotation only (no runtime import)
+    from repro.obs.registry import RunRegistry
 
 import json
 
@@ -599,6 +603,7 @@ def run_sweep(
     cache: Optional[ResultCache] = None,
     log: Optional[EventLog] = None,
     audit_dir: Optional[Union[str, Path]] = None,
+    registry: Optional["RunRegistry"] = None,
 ) -> SweepResult:
     """Execute every point of ``spec``; returns ordered results + metrics.
 
@@ -623,6 +628,12 @@ def run_sweep(
         traces are only produced by actual execution). Audit records
         contain only simulated quantities, so their bytes are identical
         across serial, parallel, and warm-cache runs.
+    registry:
+        Optional :class:`repro.obs.registry.RunRegistry`; when given the
+        completed sweep is ingested as one run record (after
+        ``sweep_done``) and a ``run_registered`` event carrying the new
+        ``run_id`` is emitted. Ingest is strictly post-hoc — the
+        per-point execution path never sees the registry.
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
@@ -807,4 +818,12 @@ def run_sweep(
     )
     log.emit("sweep_done", **metrics.to_dict())
     ordered = tuple(outcomes[p.index] for p in points)
-    return SweepResult(spec_name=spec.name, results=ordered, metrics=metrics)
+    result = SweepResult(spec_name=spec.name, results=ordered, metrics=metrics)
+    if registry is not None:
+        record = registry.ingest_sweep(
+            spec,
+            result,
+            artifacts={"audit_dir": audit_path} if audit_path else None,
+        )
+        log.emit("run_registered", run_id=record["run_id"])
+    return result

@@ -1,0 +1,416 @@
+"""Rule-based anomaly detection over registry history and audit trails.
+
+The paper's Eq. (2) exists because interference is invisible until the
+runtime watches for it; these detectors apply the same doctrine to the
+reproduction itself. Each rule reduces one observable signal to zero or
+more structured :class:`Finding`\\ s with a severity:
+
+* ``bg-est-drift`` — the Eq. (2) estimator is *exact* in this simulator
+  (the telemetry suite pins ``max |bg_est - bg_true| < 1e-9``), so any
+  drift in a run's audit summaries means the window accounting broke;
+* ``penalty-outlier`` — a point's ``app_time`` far above the median of
+  the same point (same label *and* identical parameters) across prior
+  registered runs: the cross-run analogue of a Fig. 2 timing-penalty
+  bar jumping;
+* ``migration-spike`` — migration count far above the same history
+  median: balancer churn (the ABL-PERIOD failure mode) arriving
+  unannounced;
+* ``lb-no-benefit`` — within one run, an interfered LB point not beating
+  its matched noLB point (the paper's directional Fig. 2 claim). Tiny
+  smoke scenarios legitimately violate this (LB overhead dominates), so
+  it is a warning, never an error;
+* ``bench-regression`` — the latest bench trajectory entry slower than
+  the median of prior entries, direction-normalised like
+  :mod:`repro.perf.compare`.
+
+Severities: ``info`` < ``warning`` < ``error``. ``repro runs check``
+exits non-zero only on ``error`` findings, so the CI anomaly gate fails
+on broken physics and 2x-and-worse cliffs, not on noise. Thresholds are
+one frozen dataclass (:class:`Thresholds`) so every consumer judges by
+the same bar.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+__all__ = [
+    "SEV_INFO",
+    "SEV_WARNING",
+    "SEV_ERROR",
+    "Finding",
+    "Thresholds",
+    "DEFAULT_THRESHOLDS",
+    "check_estimation_drift",
+    "check_lb_benefit",
+    "check_history_outliers",
+    "check_bench_trajectory",
+    "check_run",
+    "max_severity",
+    "has_errors",
+]
+
+SEV_INFO = "info"
+SEV_WARNING = "warning"
+SEV_ERROR = "error"
+
+_SEV_ORDER = {SEV_INFO: 0, SEV_WARNING: 1, SEV_ERROR: 2}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One detected anomaly: which rule fired, on what, and how badly."""
+
+    rule: str
+    severity: str
+    subject: str
+    message: str
+    value: Optional[float] = None
+    threshold: Optional[float] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "subject": self.subject,
+            "message": self.message,
+            "value": self.value,
+            "threshold": self.threshold,
+        }
+
+
+@dataclass(frozen=True)
+class Thresholds:
+    """The bars every detector judges against (see module docstring)."""
+
+    #: Eq. 2 max |bg_est - bg_true| above which to warn / error (s).
+    bg_est_warn_s: float = 1e-9
+    bg_est_error_s: float = 1e-6
+    #: app_time ratio vs history median that warns / errors.
+    penalty_warn: float = 1.5
+    penalty_error: float = 2.0
+    #: migration-count ratio vs history median that warns / errors ...
+    migration_warn: float = 2.0
+    migration_error: float = 4.0
+    #: ... provided at least this many migrations moved (absolute floor).
+    migration_min: int = 4
+    #: direction-normalised bench slowdown factor that warns / errors.
+    bench_warn: float = 1.25
+    bench_error: float = 2.0
+    #: minimum prior runs before history rules fire at all.
+    min_history: int = 1
+
+
+DEFAULT_THRESHOLDS = Thresholds()
+
+
+def _severity(value: float, warn: float, error: float) -> Optional[str]:
+    if value >= error:
+        return SEV_ERROR
+    if value >= warn:
+        return SEV_WARNING
+    return None
+
+
+def _median(values: Sequence[float]) -> float:
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    if n % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+# ---------------------------------------------------------------------------
+# per-run rules
+# ---------------------------------------------------------------------------
+
+
+def check_estimation_drift(
+    record: Mapping[str, Any], thresholds: Thresholds = DEFAULT_THRESHOLDS
+) -> List[Finding]:
+    """Eq. 2 estimation error beyond float noise in audited points."""
+    findings: List[Finding] = []
+    for point in record.get("points", ()):
+        audit = point.get("audit")
+        if not isinstance(audit, Mapping):
+            continue
+        est = audit.get("estimation_error", {})
+        max_abs = float(est.get("max_abs", 0.0) or 0.0)
+        severity = _severity(
+            max_abs, thresholds.bg_est_warn_s, thresholds.bg_est_error_s
+        )
+        if severity is not None:
+            findings.append(
+                Finding(
+                    rule="bg-est-drift",
+                    severity=severity,
+                    subject=f"{record.get('run_id', '?')}:{point['label']}",
+                    message=(
+                        f"Eq. 2 estimation error max |bg_est - bg_true| = "
+                        f"{max_abs:.3g}s (estimator is exact in this "
+                        f"simulator; window accounting has drifted)"
+                    ),
+                    value=max_abs,
+                    threshold=(
+                        thresholds.bg_est_error_s
+                        if severity == SEV_ERROR
+                        else thresholds.bg_est_warn_s
+                    ),
+                )
+            )
+    return findings
+
+
+def _lb_pairs(record: Mapping[str, Any]) -> List[Dict[str, Any]]:
+    """(noLB point, LB point) pairs: identical params except balancer."""
+    by_key: Dict[str, List[Mapping[str, Any]]] = {}
+    for point in record.get("points", ()):
+        params = point.get("params")
+        if not isinstance(params, Mapping):
+            continue
+        rest = {k: v for k, v in params.items() if k != "balancer"}
+        key = repr(sorted(rest.items()))
+        by_key.setdefault(key, []).append(point)
+    pairs: List[Dict[str, Any]] = []
+    for group in by_key.values():
+        nolb = [p for p in group if p["params"].get("balancer") in (None, "none")]
+        balanced = [p for p in group if p["params"].get("balancer") not in (None, "none")]
+        for base in nolb:
+            for lb in balanced:
+                pairs.append({"nolb": base, "lb": lb})
+    return pairs
+
+
+def check_lb_benefit(record: Mapping[str, Any]) -> List[Finding]:
+    """The Fig. 2 directional claim inside one run (warning-level).
+
+    Only interfered pairs are judged — without a background job there is
+    nothing for Algorithm 1 to win back, and LB overhead makes the
+    balanced run legitimately slower.
+    """
+    findings: List[Finding] = []
+    for pair in _lb_pairs(record):
+        if not pair["nolb"]["params"].get("bg"):
+            continue
+        t_nolb = float(pair["nolb"]["summary"]["app_time"])
+        t_lb = float(pair["lb"]["summary"]["app_time"])
+        if t_lb > t_nolb:
+            ratio = t_lb / t_nolb if t_nolb else float("inf")
+            findings.append(
+                Finding(
+                    rule="lb-no-benefit",
+                    severity=SEV_WARNING,
+                    subject=(
+                        f"{record.get('run_id', '?')}:{pair['lb']['label']}"
+                    ),
+                    message=(
+                        f"interfered LB run ({t_lb:.6f}s) did not beat its "
+                        f"matched noLB run ({t_nolb:.6f}s, "
+                        f"{(ratio - 1.0) * 100.0:.1f}% slower) — expected "
+                        f"at paper scale; routine for tiny smoke points"
+                    ),
+                    value=ratio,
+                    threshold=1.0,
+                )
+            )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# cross-run rules
+# ---------------------------------------------------------------------------
+
+
+def _history_values(
+    history: Sequence[Mapping[str, Any]], label: str, params: Mapping[str, Any],
+    field: str,
+) -> List[float]:
+    """``field`` across prior runs of the *identical* point."""
+    values: List[float] = []
+    for past in history:
+        for point in past.get("points", ()):
+            if point.get("label") != label:
+                continue
+            if point.get("params") != params:
+                continue
+            value = point.get("summary", {}).get(field)
+            if isinstance(value, (int, float)):
+                values.append(float(value))
+    return values
+
+
+def check_history_outliers(
+    record: Mapping[str, Any],
+    history: Sequence[Mapping[str, Any]],
+    thresholds: Thresholds = DEFAULT_THRESHOLDS,
+) -> List[Finding]:
+    """Timing-penalty outliers and migration spikes vs registry history."""
+    findings: List[Finding] = []
+    if len(history) < thresholds.min_history:
+        return findings
+    for point in record.get("points", ()):
+        label = point.get("label")
+        params = point.get("params")
+        summary = point.get("summary", {})
+        if not label or not isinstance(params, Mapping):
+            continue
+
+        past_times = _history_values(history, label, params, "app_time")
+        app_time = summary.get("app_time")
+        if past_times and isinstance(app_time, (int, float)):
+            median = _median(past_times)
+            if median > 0:
+                ratio = float(app_time) / median
+                severity = _severity(
+                    ratio, thresholds.penalty_warn, thresholds.penalty_error
+                )
+                if severity is not None:
+                    findings.append(
+                        Finding(
+                            rule="penalty-outlier",
+                            severity=severity,
+                            subject=f"{record.get('run_id', '?')}:{label}",
+                            message=(
+                                f"app_time {float(app_time):.6f}s is "
+                                f"{ratio:.2f}x the median of "
+                                f"{len(past_times)} prior run(s) "
+                                f"({median:.6f}s)"
+                            ),
+                            value=ratio,
+                            threshold=(
+                                thresholds.penalty_error
+                                if severity == SEV_ERROR
+                                else thresholds.penalty_warn
+                            ),
+                        )
+                    )
+
+        past_migs = _history_values(
+            history, label, params, "total_migrations"
+        )
+        migrations = summary.get("total_migrations")
+        if past_migs and isinstance(migrations, (int, float)):
+            median = _median(past_migs)
+            if (
+                migrations >= thresholds.migration_min
+                and median >= 0
+                and migrations > median
+            ):
+                ratio = (
+                    float(migrations) / median if median > 0 else float("inf")
+                )
+                severity = _severity(
+                    ratio, thresholds.migration_warn, thresholds.migration_error
+                )
+                if severity is not None:
+                    findings.append(
+                        Finding(
+                            rule="migration-spike",
+                            severity=severity,
+                            subject=f"{record.get('run_id', '?')}:{label}",
+                            message=(
+                                f"{int(migrations)} migrations vs a history "
+                                f"median of {median:.1f} across "
+                                f"{len(past_migs)} prior run(s) — balancer "
+                                f"churn"
+                            ),
+                            value=ratio,
+                            threshold=(
+                                thresholds.migration_error
+                                if severity == SEV_ERROR
+                                else thresholds.migration_warn
+                            ),
+                        )
+                    )
+    return findings
+
+
+def check_bench_trajectory(
+    entries: Sequence[Mapping[str, Any]],
+    thresholds: Thresholds = DEFAULT_THRESHOLDS,
+) -> List[Finding]:
+    """Latest bench entry vs the median of the prior trajectory.
+
+    ``entries`` are BENCH_*.json dicts ordered oldest -> newest (the
+    caller sorts, typically by ``created_utc``). The slowdown factor is
+    direction-normalised exactly like :mod:`repro.perf.compare`: > 1
+    always means worse.
+    """
+    findings: List[Finding] = []
+    if len(entries) < 2:
+        return findings
+    latest = entries[-1]
+    prior = entries[:-1]
+    sha = latest.get("env", {}).get("git_sha", "?")
+    for name, metric in sorted(latest.get("metrics", {}).items()):
+        current = metric.get("median")
+        if not isinstance(current, (int, float)) or current <= 0:
+            continue
+        past = [
+            p["metrics"][name]["median"]
+            for p in prior
+            if isinstance(p.get("metrics", {}).get(name, {}).get("median"), (int, float))
+            and p["metrics"][name]["median"] > 0
+        ]
+        if not past:
+            continue
+        baseline = _median(past)
+        if metric.get("direction") == "lower":
+            factor = float(current) / baseline
+        else:
+            factor = baseline / float(current)
+        severity = _severity(factor, thresholds.bench_warn, thresholds.bench_error)
+        if severity is not None:
+            findings.append(
+                Finding(
+                    rule="bench-regression",
+                    severity=severity,
+                    subject=f"bench:{sha}:{name}",
+                    message=(
+                        f"{name} is {factor:.2f}x slower than the median of "
+                        f"{len(past)} prior trajectory entr"
+                        f"{'y' if len(past) == 1 else 'ies'} "
+                        f"({baseline:,.1f} -> {float(current):,.1f} "
+                        f"{metric.get('unit', '')})"
+                    ),
+                    value=factor,
+                    threshold=(
+                        thresholds.bench_error
+                        if severity == SEV_ERROR
+                        else thresholds.bench_warn
+                    ),
+                )
+            )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# composition
+# ---------------------------------------------------------------------------
+
+
+def check_run(
+    record: Mapping[str, Any],
+    history: Sequence[Mapping[str, Any]] = (),
+    thresholds: Thresholds = DEFAULT_THRESHOLDS,
+) -> List[Finding]:
+    """Every per-run and cross-run rule applied to one sweep record."""
+    findings: List[Finding] = []
+    findings.extend(check_estimation_drift(record, thresholds))
+    findings.extend(check_lb_benefit(record))
+    findings.extend(check_history_outliers(record, history, thresholds))
+    findings.sort(key=lambda f: (-_SEV_ORDER[f.severity], f.rule, f.subject))
+    return findings
+
+
+def max_severity(findings: Sequence[Finding]) -> Optional[str]:
+    """The worst severity present, or None for a clean bill."""
+    if not findings:
+        return None
+    return max(findings, key=lambda f: _SEV_ORDER[f.severity]).severity
+
+
+def has_errors(findings: Sequence[Finding]) -> bool:
+    return any(f.severity == SEV_ERROR for f in findings)

@@ -1,0 +1,387 @@
+"""``repro report``: a self-contained HTML observability dashboard.
+
+One static file — inline CSS, inline SVG sparklines, **zero external
+JavaScript or assets** — summarising everything the registry and the
+perf trajectory know:
+
+* headline stat tiles (runs registered, points simulated, current SHA);
+* paper-figure validation: for the latest run of each sweep, every
+  matched (noLB, LB) interfered pair and whether the Fig. 2 directional
+  claim held;
+* the run table (``repro runs list`` in HTML);
+* bench trajectory trends as per-metric sparklines;
+* anomaly findings from :mod:`repro.obs.anomaly`, worst first.
+
+Self-containment is the deployment story: CI uploads the single file as
+an artifact and it renders anywhere — no server, no CDN, no build step.
+Colors follow the project dataviz conventions: one series hue for data
+marks, reserved status colors that always ship with a text label (never
+color alone), and a ``prefers-color-scheme`` dark mode re-stepped from
+the same hues rather than inverted.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.obs.anomaly import (
+    DEFAULT_THRESHOLDS,
+    Finding,
+    Thresholds,
+    _lb_pairs,
+    check_bench_trajectory,
+    check_run,
+)
+from repro.obs.registry import RunRegistry
+
+__all__ = ["build_report", "render_report", "write_report"]
+
+# Light/dark surfaces and the series hue come from the project palette;
+# status colors are the reserved set and are always paired with a label.
+_CSS = """
+:root {
+  --surface: #fcfcfb; --ink: #1f1f1e; --ink-2: #5c5c58; --line: #e4e4e0;
+  --series: #2a78d6; --good: #0ca30c; --warning: #b97f00; --error: #d03b3b;
+  --tile: #f3f3f0;
+}
+@media (prefers-color-scheme: dark) {
+  :root {
+    --surface: #1a1a19; --ink: #ececea; --ink-2: #a3a39e; --line: #353532;
+    --series: #3987e5; --good: #2dc22d; --warning: #fab219; --error: #e06c6c;
+    --tile: #242423;
+  }
+}
+html { background: var(--surface); color: var(--ink);
+  font: 14px/1.5 system-ui, sans-serif; }
+body { max-width: 64rem; margin: 2rem auto; padding: 0 1rem; }
+h1 { font-size: 1.3rem; } h2 { font-size: 1.05rem; margin-top: 2rem; }
+table { border-collapse: collapse; width: 100%; }
+th, td { text-align: left; padding: 0.3rem 0.6rem;
+  border-bottom: 1px solid var(--line);
+  font-variant-numeric: tabular-nums; }
+th { color: var(--ink-2); font-weight: 600; }
+.num { text-align: right; }
+.tiles { display: flex; gap: 0.8rem; flex-wrap: wrap; margin: 1rem 0; }
+.tile { background: var(--tile); border-radius: 6px; padding: 0.6rem 1rem; }
+.tile .v { font-size: 1.4rem; font-weight: 700;
+  font-variant-numeric: tabular-nums; }
+.tile .k { color: var(--ink-2); font-size: 0.8rem; }
+.sev-error { color: var(--error); font-weight: 600; }
+.sev-warning { color: var(--warning); font-weight: 600; }
+.sev-info, .muted { color: var(--ink-2); }
+.ok { color: var(--good); font-weight: 600; }
+code { background: var(--tile); padding: 0 0.25rem; border-radius: 3px; }
+.spark { vertical-align: middle; }
+footer { margin-top: 2.5rem; color: var(--ink-2); font-size: 0.8rem; }
+"""
+
+
+def _esc(value: Any) -> str:
+    return html.escape(str(value))
+
+
+def _sparkline_svg(
+    values: Sequence[float], *, width: int = 120, height: int = 28
+) -> str:
+    """Inline single-series SVG sparkline (no legend needed for one
+    series; the row label names it)."""
+    if len(values) < 2:
+        return '<span class="muted">n/a</span>'
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    pad = 3.0
+    n = len(values)
+    pts = []
+    for i, v in enumerate(values):
+        x = pad + i * (width - 2 * pad) / (n - 1)
+        y = height - pad - (v - lo) / span * (height - 2 * pad)
+        pts.append(f"{x:.1f},{y:.1f}")
+    last_x, last_y = pts[-1].split(",")
+    return (
+        f'<svg class="spark" width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}" role="img" '
+        f'aria-label="trend of {n} values">'
+        f'<polyline fill="none" stroke="var(--series)" stroke-width="2" '
+        f'stroke-linecap="round" points="{" ".join(pts)}"/>'
+        f'<circle cx="{last_x}" cy="{last_y}" r="3" fill="var(--series)"/>'
+        f"</svg>"
+    )
+
+
+def _sev_cell(severity: str) -> str:
+    # status is icon + label, never color alone
+    icons = {"error": "✖", "warning": "▲", "info": "ℹ"}
+    return (
+        f'<span class="sev-{_esc(severity)}">'
+        f"{icons.get(severity, '•')} {_esc(severity)}</span>"
+    )
+
+
+# ---------------------------------------------------------------------------
+# data assembly
+# ---------------------------------------------------------------------------
+
+
+def _load_trajectory(trajectory_dir: Optional[Union[str, Path]]) -> List[Dict[str, Any]]:
+    """BENCH_*.json entries sorted oldest -> newest by ``created_utc``."""
+    if trajectory_dir is None:
+        return []
+    root = Path(trajectory_dir)
+    if not root.is_dir():
+        return []
+    entries: List[Dict[str, Any]] = []
+    for path in sorted(root.glob("BENCH_*.json")):
+        try:
+            with open(path) as fh:
+                data = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            continue
+        if isinstance(data, dict) and isinstance(data.get("metrics"), dict):
+            entries.append(data)
+    entries.sort(key=lambda e: e.get("created_utc", ""))
+    return entries
+
+
+def build_report(
+    registry_dir: Union[str, Path],
+    *,
+    trajectory_dir: Optional[Union[str, Path]] = None,
+    thresholds: Thresholds = DEFAULT_THRESHOLDS,
+) -> Dict[str, Any]:
+    """Assemble everything the dashboard renders into one plain dict.
+
+    Separated from :func:`render_report` so tests (and future JSON
+    output) can assert on the data without parsing HTML.
+    """
+    registry = RunRegistry(registry_dir)
+    index = registry.list()
+
+    # latest full record per sweep name, plus per-run findings
+    latest_by_name: Dict[str, Dict[str, Any]] = {}
+    findings: List[Finding] = []
+    total_points = 0
+    for line in index:
+        total_points += int(line.get("points", 0) or 0)
+        if line.get("kind") != "sweep":
+            continue
+        try:
+            record = registry.load(line["run_id"])
+        except (ValueError, OSError):
+            continue
+        latest_by_name[record["name"]] = record
+    for record in latest_by_name.values():
+        history = registry.history(
+            record["name"], before=record["run_id"]
+        )
+        findings.extend(check_run(record, history, thresholds))
+
+    # figure validation: interfered LB-vs-noLB pairs of each latest run
+    figure_rows: List[Dict[str, Any]] = []
+    for name, record in sorted(latest_by_name.items()):
+        for pair in _lb_pairs(record):
+            if not pair["nolb"]["params"].get("bg"):
+                continue
+            t_nolb = float(pair["nolb"]["summary"]["app_time"])
+            t_lb = float(pair["lb"]["summary"]["app_time"])
+            figure_rows.append(
+                {
+                    "sweep": name,
+                    "run_id": record["run_id"],
+                    "label": pair["lb"]["label"],
+                    "nolb_s": t_nolb,
+                    "lb_s": t_lb,
+                    "holds": t_lb <= t_nolb,
+                }
+            )
+
+    trajectory = _load_trajectory(trajectory_dir)
+    findings.extend(check_bench_trajectory(trajectory, thresholds))
+
+    # per-metric median series for the sparklines
+    trends: Dict[str, Dict[str, Any]] = {}
+    for entry in trajectory:
+        for metric, m in entry.get("metrics", {}).items():
+            median = m.get("median")
+            if not isinstance(median, (int, float)):
+                continue
+            slot = trends.setdefault(
+                metric,
+                {"unit": m.get("unit", ""), "direction": m.get("direction", ""),
+                 "values": []},
+            )
+            slot["values"].append(float(median))
+
+    git_shas = [line.get("git_sha", "") for line in index]
+    return {
+        "runs": index,
+        "total_points": total_points,
+        "latest_sha": git_shas[-1] if git_shas else "unknown",
+        "figure_rows": figure_rows,
+        "trends": trends,
+        "trajectory_entries": len(trajectory),
+        "findings": [f.to_dict() for f in findings],
+    }
+
+
+# ---------------------------------------------------------------------------
+# rendering
+# ---------------------------------------------------------------------------
+
+
+def render_report(data: Mapping[str, Any]) -> str:
+    """The dashboard dict -> one self-contained HTML document."""
+    runs: Sequence[Mapping[str, Any]] = data.get("runs", ())
+    findings: Sequence[Mapping[str, Any]] = data.get("findings", ())
+    figure_rows: Sequence[Mapping[str, Any]] = data.get("figure_rows", ())
+    trends: Mapping[str, Mapping[str, Any]] = data.get("trends", {})
+    errors = sum(1 for f in findings if f.get("severity") == "error")
+    warnings = sum(1 for f in findings if f.get("severity") == "warning")
+
+    out: List[str] = []
+    out.append("<!DOCTYPE html>")
+    out.append('<html lang="en"><head><meta charset="utf-8">')
+    out.append("<title>repro observability report</title>")
+    out.append(f"<style>{_CSS}</style></head><body>")
+    out.append("<h1>repro observability report</h1>")
+    out.append(
+        '<p class="muted">Cross-run registry, paper-figure validation, '
+        "bench trajectory and anomaly findings — one static page, "
+        "no external assets.</p>"
+    )
+
+    # stat tiles
+    out.append('<div class="tiles">')
+    for value, label in (
+        (len(runs), "runs registered"),
+        (data.get("total_points", 0), "points recorded"),
+        (data.get("trajectory_entries", 0), "bench entries"),
+        (f"{errors} / {warnings}", "errors / warnings"),
+        (str(data.get("latest_sha", "unknown"))[:12], "latest git sha"),
+    ):
+        out.append(
+            f'<div class="tile"><div class="v">{_esc(value)}</div>'
+            f'<div class="k">{_esc(label)}</div></div>'
+        )
+    out.append("</div>")
+
+    # paper-figure validation
+    out.append("<h2>Paper-figure validation (Fig. 2 directional claim)</h2>")
+    if figure_rows:
+        out.append(
+            "<table><thead><tr><th>sweep</th><th>point</th>"
+            '<th class="num">noLB app_time (s)</th>'
+            '<th class="num">LB app_time (s)</th>'
+            "<th>LB &le; noLB</th></tr></thead><tbody>"
+        )
+        for row in figure_rows:
+            status = (
+                '<span class="ok">✓ holds</span>'
+                if row["holds"]
+                else '<span class="sev-warning">▲ violated</span>'
+            )
+            out.append(
+                f"<tr><td>{_esc(row['sweep'])}</td>"
+                f"<td><code>{_esc(row['label'])}</code></td>"
+                f'<td class="num">{row["nolb_s"]:.6f}</td>'
+                f'<td class="num">{row["lb_s"]:.6f}</td>'
+                f"<td>{status}</td></tr>"
+            )
+        out.append("</tbody></table>")
+    else:
+        out.append(
+            '<p class="muted">No interfered LB/noLB pairs in the latest '
+            "registered runs.</p>"
+        )
+
+    # run table
+    out.append("<h2>Registered runs</h2>")
+    if runs:
+        out.append(
+            "<table><thead><tr><th>run id</th><th>kind</th><th>name</th>"
+            '<th>created (UTC)</th><th>git sha</th><th class="num">points'
+            "</th></tr></thead><tbody>"
+        )
+        for line in runs:
+            out.append(
+                f"<tr><td><code>{_esc(line.get('run_id', '?'))}</code></td>"
+                f"<td>{_esc(line.get('kind', '?'))}</td>"
+                f"<td>{_esc(line.get('name', '?'))}</td>"
+                f"<td>{_esc(line.get('created_utc', ''))}</td>"
+                f"<td><code>{_esc(str(line.get('git_sha', ''))[:12])}</code></td>"
+                f'<td class="num">{_esc(line.get("points", 0))}</td></tr>'
+            )
+        out.append("</tbody></table>")
+    else:
+        out.append('<p class="muted">The registry is empty.</p>')
+
+    # bench trends
+    out.append("<h2>Bench trajectory</h2>")
+    if trends:
+        out.append(
+            "<table><thead><tr><th>metric</th><th>trend (oldest &rarr; "
+            'newest)</th><th class="num">latest median</th><th>unit</th>'
+            "</tr></thead><tbody>"
+        )
+        for metric in sorted(trends):
+            slot = trends[metric]
+            values = slot.get("values", [])
+            latest = f"{values[-1]:,.1f}" if values else "-"
+            out.append(
+                f"<tr><td><code>{_esc(metric)}</code></td>"
+                f"<td>{_sparkline_svg(values)}</td>"
+                f'<td class="num">{_esc(latest)}</td>'
+                f"<td>{_esc(slot.get('unit', ''))}</td></tr>"
+            )
+        out.append("</tbody></table>")
+    else:
+        out.append(
+            '<p class="muted">No bench trajectory entries '
+            "(run <code>repro bench --save DIR</code>).</p>"
+        )
+
+    # findings
+    out.append("<h2>Anomaly findings</h2>")
+    if findings:
+        out.append(
+            "<table><thead><tr><th>severity</th><th>rule</th>"
+            "<th>subject</th><th>detail</th></tr></thead><tbody>"
+        )
+        for f in findings:
+            out.append(
+                f"<tr><td>{_sev_cell(str(f.get('severity', 'info')))}</td>"
+                f"<td><code>{_esc(f.get('rule', '?'))}</code></td>"
+                f"<td><code>{_esc(f.get('subject', '?'))}</code></td>"
+                f"<td>{_esc(f.get('message', ''))}</td></tr>"
+            )
+        out.append("</tbody></table>")
+    else:
+        out.append('<p class="ok">✓ No anomalies detected.</p>')
+
+    out.append(
+        "<footer>Generated by <code>repro report</code> — findings are "
+        "rule-based (see <code>repro.obs.anomaly</code>); "
+        "<code>repro runs check</code> gates CI on error-severity "
+        "findings.</footer>"
+    )
+    out.append("</body></html>")
+    return "\n".join(out)
+
+
+def write_report(
+    path: Union[str, Path],
+    registry_dir: Union[str, Path],
+    *,
+    trajectory_dir: Optional[Union[str, Path]] = None,
+    thresholds: Thresholds = DEFAULT_THRESHOLDS,
+) -> Dict[str, Any]:
+    """Build and write the dashboard; returns the underlying data dict."""
+    data = build_report(
+        registry_dir, trajectory_dir=trajectory_dir, thresholds=thresholds
+    )
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(render_report(data))
+    return data

@@ -26,7 +26,6 @@ from __future__ import annotations
 import json
 import os
 import platform
-import subprocess
 import sys
 import tempfile
 import time
@@ -285,23 +284,9 @@ def default_benchmarks() -> List[Benchmark]:
 
 def _git_sha() -> str:
     """Short git SHA of the working tree, or ``unknown`` outside a repo."""
-    env = os.environ.get("REPRO_GIT_SHA")
-    if env:
-        return env
-    import repro
+    from repro.util.provenance import git_sha
 
-    root = Path(repro.__file__).resolve().parent
-    try:
-        out = subprocess.run(
-            ["git", "-C", str(root), "rev-parse", "--short", "HEAD"],
-            capture_output=True,
-            text=True,
-            timeout=10,
-        )
-    except (OSError, subprocess.TimeoutExpired):
-        return "unknown"
-    sha = out.stdout.strip()
-    return sha if out.returncode == 0 and sha else "unknown"
+    return git_sha()
 
 
 def environment_fingerprint() -> Dict[str, Any]:

@@ -15,8 +15,11 @@ from repro.util.validation import (
 )
 from repro.util.rng import derive_seed, resolve_rng
 from repro.util.log import get_logger
+from repro.util.provenance import git_sha, utc_timestamp
 
 __all__ = [
+    "git_sha",
+    "utc_timestamp",
     "check_finite",
     "check_in_range",
     "check_non_negative",

@@ -1,0 +1,65 @@
+"""Result-cache provenance stamps: git sha, seed, schema, fingerprint."""
+
+import json
+
+from repro.experiments.cache import (
+    CACHE_FORMAT,
+    ResultCache,
+    code_fingerprint,
+    point_key,
+)
+
+
+def _params(seed=42):
+    return {"app": "jacobi2d", "cores": 4, "seed": seed}
+
+
+def test_put_stamps_provenance(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_GIT_SHA", "feedbeef")
+    cache = ResultCache(tmp_path)
+    key = point_key(_params())
+    cache.put(key, _params(), {"app_time": 1.0})
+
+    prov = cache.get_provenance(key)
+    assert prov == {
+        "schema": CACHE_FORMAT,
+        "git_sha": "feedbeef",
+        "seed": 42,
+        "code_fingerprint": code_fingerprint()[:16],
+    }
+    # the stamp is on disk, inside the entry itself
+    (entry_file,) = tmp_path.glob("*/*.json")
+    assert json.loads(entry_file.read_text())["provenance"] == prov
+
+
+def test_provenance_never_affects_hits(tmp_path, monkeypatch):
+    cache = ResultCache(tmp_path)
+    key = point_key(_params())
+    monkeypatch.setenv("REPRO_GIT_SHA", "feedbeef")
+    cache.put(key, _params(), {"app_time": 1.0})
+    # a different sha at read time still hits: provenance is informational
+    monkeypatch.setenv("REPRO_GIT_SHA", "0ddba11")
+    assert cache.get(key) == {"app_time": 1.0}
+    assert cache.get_provenance(key)["git_sha"] == "feedbeef"
+
+
+def test_pre_stamp_entries_read_as_none(tmp_path):
+    cache = ResultCache(tmp_path)
+    key = point_key(_params())
+    cache.put(key, _params(), {"app_time": 1.0})
+    # simulate an entry written before provenance existed
+    (entry_file,) = tmp_path.glob("*/*.json")
+    entry = json.loads(entry_file.read_text())
+    del entry["provenance"]
+    entry_file.write_text(json.dumps(entry))
+    assert cache.get_provenance(key) is None
+    assert cache.get(key) == {"app_time": 1.0}  # still a valid hit
+    assert cache.get_provenance("0" * 64) is None  # missing entry
+
+
+def test_seed_absent_from_params_is_stored_as_null(tmp_path):
+    cache = ResultCache(tmp_path)
+    params = {"app": "jacobi2d", "cores": 4}
+    key = point_key(params)
+    cache.put(key, params, {"app_time": 1.0})
+    assert cache.get_provenance(key)["seed"] is None

@@ -109,7 +109,8 @@ def test_sweep_smoke_preset_with_cache_and_jsonl(tmp_path, capsys):
     assert (tmp_path / "sweep_smoke.txt").exists()
     events = [json.loads(l) for l in jsonl.read_text().splitlines()]
     assert events[0]["event"] == "sweep_start"
-    assert events[-1]["event"] == "sweep_done"
+    assert events[-2]["event"] == "sweep_done"
+    assert events[-1]["event"] == "run_registered"  # registry ingest is on
 
     # second run: pure cache hit
     assert main(args) == 0
@@ -308,3 +309,177 @@ def test_bench_profile_writes_phase_profile_and_trace(tmp_path, capsys):
     events = json.loads((tmp_path / "prof" / "profile.trace.json").read_text())
     assert any(e.get("cat") == "profile" for e in events)
     assert any(e.get("ph") == "C" for e in events)
+
+
+# ---------------------------------------------------------------------------
+# observability: registry, watch, report, anomaly gate
+# ---------------------------------------------------------------------------
+
+
+def _registry_args(tmp_path):
+    return ["--registry", str(tmp_path / "registry")]
+
+
+def test_sweep_registers_run_then_runs_list_shows_it(tmp_path, capsys,
+                                                     monkeypatch):
+    monkeypatch.setenv("REPRO_GIT_SHA", "feedbeef")
+    rc = main(["sweep", "--preset", "smoke", "--no-cache",
+               "--registry", str(tmp_path / "registry")])
+    assert rc == 0
+    err = capsys.readouterr().err
+    assert "[registered as run " in err
+
+    assert main(["runs"] + _registry_args(tmp_path) + ["list"]) == 0
+    out = capsys.readouterr().out
+    assert "1 registered run(s)" in out
+    assert "sweep" in out and "smoke" in out
+    assert "feedbeef" in out  # git sha in the listing
+
+    # the full record carries per-point seeds and metrics
+    assert main(["runs"] + _registry_args(tmp_path) + ["show", "latest"]) == 0
+    import json
+
+    record = json.loads(capsys.readouterr().out)
+    assert record["git_sha"] == "feedbeef"
+    assert len(record["points"]) == 4
+    assert all("seed" in p for p in record["points"])
+    assert all("app_time" in p["summary"] for p in record["points"])
+    assert record["metrics"]["points"] == 4
+
+
+def test_sweep_no_registry_skips_ingest(tmp_path, capsys):
+    rc = main(["sweep", "--preset", "smoke", "--no-cache", "--no-registry",
+               "--registry", str(tmp_path / "registry")])
+    assert rc == 0
+    assert "[registered as run" not in capsys.readouterr().err
+    assert main(["runs"] + _registry_args(tmp_path) + ["list"]) == 0
+    assert "is empty" in capsys.readouterr().out
+
+
+def test_sweep_live_renders_final_frame_to_stderr(tmp_path, capsys):
+    rc = main(["sweep", "--preset", "smoke", "--no-cache", "--live",
+               "--registry", str(tmp_path / "registry")])
+    assert rc == 0
+    err = capsys.readouterr().err
+    assert "sweep smoke — 4/4 points" in err
+    assert "done: executed=4" in err
+
+
+def test_watch_replays_a_jsonl_progress_file(tmp_path, capsys):
+    jsonl = tmp_path / "events.jsonl"
+    rc = main(["sweep", "--preset", "smoke", "--no-cache", "--no-registry",
+               "--jsonl", str(jsonl)])
+    assert rc == 0
+    capsys.readouterr()
+    assert main(["watch", str(jsonl)]) == 0
+    out = capsys.readouterr().out
+    assert "sweep smoke — 4/4 points" in out
+    assert "100.0%" in out
+
+    assert main(["watch", str(tmp_path / "nope.jsonl")]) == 2
+    assert "no progress file" in capsys.readouterr().err
+
+    assert main(["watch", str(jsonl), "--interval", "0"]) == 2
+    assert "--interval must be > 0" in capsys.readouterr().err
+
+
+def test_runs_check_flags_injected_outlier_with_nonzero_exit(tmp_path, capsys,
+                                                             monkeypatch):
+    """Acceptance: a 3x penalty outlier in a registry fixture makes
+    ``repro runs check`` exit non-zero with an error finding."""
+    monkeypatch.setenv("REPRO_GIT_SHA", "feedbeef")
+    from repro.obs.registry import RunRegistry
+    from tests.obs.conftest import PAIRED_POINTS, build_run
+
+    registry = RunRegistry(tmp_path / "registry")
+    for i in range(2):
+        spec, result = build_run("smoke", PAIRED_POINTS)
+        registry.ingest_sweep(spec, result,
+                              created_utc=f"2026-08-06T1{i}:00:00Z")
+    outlier = [dict(p) for p in PAIRED_POINTS]
+    outlier[1] = {**outlier[1], "app_time": 4.5}
+    spec, result = build_run("smoke", outlier)
+    registry.ingest_sweep(spec, result, created_utc="2026-08-06T12:00:00Z")
+
+    rc = main(["runs"] + _registry_args(tmp_path) + ["check", "latest"])
+    assert rc == 1
+    out = capsys.readouterr().out
+    assert "ERROR" in out and "penalty-outlier" in out
+    assert "3.00x" in out
+
+    # json mode carries the same findings
+    rc = main(["runs"] + _registry_args(tmp_path) + ["check", "latest",
+                                                     "--json"])
+    assert rc == 1
+    import json
+
+    findings = json.loads(capsys.readouterr().out)
+    assert any(f["rule"] == "penalty-outlier" and f["severity"] == "error"
+               for f in findings)
+
+    # the earlier runs are clean (warnings at most -> exit 0)
+    first = registry.list()[0]["run_id"]
+    assert main(["runs"] + _registry_args(tmp_path) + ["check", first]) == 0
+
+
+def test_runs_check_clean_run_exits_zero(tmp_path, capsys):
+    assert main(["sweep", "--preset", "smoke", "--no-cache",
+                 "--registry", str(tmp_path / "registry")]) == 0
+    capsys.readouterr()
+    rc = main(["runs"] + _registry_args(tmp_path) + ["check"])
+    assert rc == 0  # smoke lb-no-benefit findings are warnings, never errors
+    out = capsys.readouterr().out
+    assert "0 error(s)" in out or "no findings" in out
+
+
+def test_runs_diff_between_two_registered_sweeps(tmp_path, capsys):
+    for _ in range(2):
+        assert main(["sweep", "--preset", "smoke", "--no-cache",
+                     "--registry", str(tmp_path / "registry")]) == 0
+    capsys.readouterr()
+    runs_prefix = ["runs"] + _registry_args(tmp_path)
+    # deterministic engine: identical params -> identical summaries
+    import json
+
+    assert main(runs_prefix + ["diff", "--json", "latest:smoke", "latest"]) == 0
+    diff = json.loads(capsys.readouterr().out)
+    assert diff["only_a"] == diff["only_b"] == []
+    assert main(runs_prefix + ["diff", "latest:smoke", "latest"]) == 0
+    assert "identical point(s)" in capsys.readouterr().out
+
+    assert main(runs_prefix + ["diff", "latest", "zzz"]) == 2
+    assert "repro runs: error:" in capsys.readouterr().err
+
+
+def test_runs_errors_are_clean(tmp_path, capsys):
+    runs_prefix = ["runs"] + _registry_args(tmp_path)
+    assert main(runs_prefix + ["show", "latest"]) == 2
+    assert "repro runs: error:" in capsys.readouterr().err
+    assert main(runs_prefix + ["check", "latest"]) == 2
+    assert "repro runs: error:" in capsys.readouterr().err
+
+
+def test_report_cli_writes_self_contained_html(tmp_path, capsys):
+    assert main(["sweep", "--preset", "smoke", "--no-cache",
+                 "--registry", str(tmp_path / "registry")]) == 0
+    capsys.readouterr()
+    out_file = tmp_path / "report.html"
+    rc = main(["report", "--registry", str(tmp_path / "registry"),
+               "--trajectory-dir", str(tmp_path / "no-traj"),
+               "--output", str(out_file)])
+    assert rc == 0
+    assert "report written to" in capsys.readouterr().out
+    html = out_file.read_text()
+    assert html.startswith("<!DOCTYPE html>")
+    assert "<script" not in html and "https://" not in html
+    assert "smoke" in html
+
+
+def test_inspect_empty_dir_is_a_clean_one_line_error(tmp_path, capsys):
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    assert main(["inspect", str(empty)]) == 2
+    err = capsys.readouterr().err
+    assert err.startswith("repro inspect: error:")
+    assert len(err.strip().splitlines()) == 1
+    assert "Traceback" not in err
