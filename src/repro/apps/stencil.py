@@ -22,6 +22,9 @@ from repro.util import check_non_negative, check_positive
 
 __all__ = ["StencilStripChare", "build_strip_array"]
 
+_INF = float("inf")
+_sin = math.sin
+
 
 class StencilStripChare(Chare):
     """One horizontal strip of a 2D stencil grid.
@@ -58,12 +61,29 @@ class StencilStripChare(Chare):
         jitter_amp: float = 0.0,
         jitter_seed: int = 0,
     ) -> None:
-        check_positive("rows", rows)
-        check_positive("cols", cols)
-        check_positive("flops_per_cell", flops_per_cell)
-        check_positive("core_speed", core_speed)
-        check_positive("fields", fields)
-        check_non_negative("jitter_amp", jitter_amp)
+        # constructed per chare per run: inline comparisons accept the
+        # common case, the full checkers handle everything else (exact
+        # error messages, odd numeric types)
+        if not (
+            type(rows) is int
+            and type(cols) is int
+            and type(fields) is int
+            and type(flops_per_cell) is float
+            and type(core_speed) is float
+            and type(jitter_amp) is float
+            and rows > 0
+            and cols > 0
+            and fields > 0
+            and 0.0 < flops_per_cell < _INF
+            and 0.0 < core_speed < _INF
+            and 0.0 <= jitter_amp < _INF
+        ):
+            check_positive("rows", rows)
+            check_positive("cols", cols)
+            check_positive("flops_per_cell", flops_per_cell)
+            check_positive("core_speed", core_speed)
+            check_positive("fields", fields)
+            check_non_negative("jitter_amp", jitter_amp)
         super().__init__(index, state_bytes=float(fields * rows * cols * 8))
         self.rows = int(rows)
         self.cols = int(cols)
@@ -90,10 +110,11 @@ class StencilStripChare(Chare):
         (iteration, index) — persistent from one LB window to the next, as
         real iterative codes are, but avoiding exactly tied loads.
         """
-        if self.jitter_amp == 0.0:
+        amp = self.jitter_amp
+        if amp == 0.0:
             return self._base_work
         phase = 0.7 * iteration + 2.3 * self.index + self._jitter_phase
-        return self._base_work * (1.0 + self.jitter_amp * math.sin(phase))
+        return self._base_work * (1.0 + amp * _sin(phase))
 
     def execute(self, iteration: int) -> None:
         """Run the real 5-point sweep on this strip (validation mode).

@@ -164,6 +164,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes (1 = serial; results are identical)",
     )
     psw.add_argument(
+        "--backend",
+        choices=["auto", "events", "fast"],
+        default="auto",
+        help="simulation backend: 'events' = discrete-event engine, "
+        "'fast' = vectorized fast path (bit-identical results), "
+        "'auto' = fast where supported (default)",
+    )
+    psw.add_argument(
         "--cache-dir", type=Path, default=None, metavar="DIR",
         help="result cache location (default: .repro-cache/sweeps, "
         "or $REPRO_CACHE_DIR)",
@@ -547,6 +555,7 @@ def _cmd_sweep(args) -> int:
             log=log,
             audit_dir=args.audit,
             registry=registry,
+            backend=args.backend,
         )
     finally:
         if jsonl_stream is not None:

@@ -26,6 +26,8 @@ from repro.util import check_non_negative, check_positive
 
 __all__ = ["NetworkModel"]
 
+_INF = float("inf")
+
 
 @dataclass(frozen=True)
 class NetworkModel:
@@ -79,7 +81,11 @@ class NetworkModel:
         arithmetic), so the profiler records a clock-free tally of call
         count and bytes costed instead.
         """
-        check_non_negative("nbytes", nbytes)
+        # hot path (one call per halo exchange / reduction hop): inline
+        # comparisons accept the common case; the full checker handles the rest
+        t = type(nbytes)
+        if not ((t is float or t is int) and 0 <= nbytes < _INF):
+            check_non_negative("nbytes", nbytes)
         _profiler().tally("net.message_time", nbytes)
         return self.latency_s + self.per_message_overhead_s + nbytes / self.bandwidth_Bps
 

@@ -27,6 +27,8 @@ __all__ = ["TaskRecord", "CoreLoad", "LBView", "Migration", "LBDatabase"]
 
 ChareKey = Tuple[str, int]  #: (array name, index) — hashable chare identity
 
+_INF = float("inf")
+
 
 @dataclass(frozen=True)
 class TaskRecord:
@@ -54,8 +56,18 @@ class TaskRecord:
     comm: Tuple[Tuple[ChareKey, float], ...] = ()
 
     def __post_init__(self) -> None:
-        check_non_negative("cpu_time", self.cpu_time)
-        check_non_negative("state_bytes", self.state_bytes)
+        # constructed per chare per LB step: inline comparisons accept the
+        # common case; the full checkers handle everything else
+        if (
+            type(self.cpu_time) is float
+            and 0.0 <= self.cpu_time < _INF
+            and type(self.state_bytes) is float
+            and 0.0 <= self.state_bytes < _INF
+        ):
+            pass
+        else:
+            check_non_negative("cpu_time", self.cpu_time)
+            check_non_negative("state_bytes", self.state_bytes)
         for other, nbytes in self.comm:
             if nbytes < 0:
                 raise ValueError(
@@ -83,7 +95,8 @@ class CoreLoad:
     bg_load: float = 0.0
 
     def __post_init__(self) -> None:
-        check_non_negative("bg_load", self.bg_load)
+        if not (type(self.bg_load) is float and 0.0 <= self.bg_load < _INF):
+            check_non_negative("bg_load", self.bg_load)
 
     @property
     def task_time(self) -> float:
@@ -218,7 +231,10 @@ class LBDatabase:
     # ------------------------------------------------------------------
     def record_task(self, chare: ChareKey, cpu_time: float) -> None:
         """Add one entry-method execution's CPU time to the window."""
-        check_non_negative("cpu_time", cpu_time)
+        # hot path (one call per task execution): validate with two inline
+        # comparisons; defer to the full checker only to raise
+        if not (type(cpu_time) is float and 0.0 <= cpu_time < _INF):
+            check_non_negative("cpu_time", cpu_time)
         self._task_cpu[chare] = self._task_cpu.get(chare, 0.0) + cpu_time
 
     def set_state_bytes(self, chare: ChareKey, nbytes: float) -> None:

@@ -642,6 +642,18 @@ class HeadlineRow:
         )
 
 
+def _reduction_percent(lb: float, nolb: float) -> float:
+    """``100 * (1 - LB / noLB)``, or 0.0 when the noLB baseline is ~0.
+
+    A zero baseline means there was no overhead to reduce (tiny ``--scale``
+    runs where interference rounds to nothing), so no reduction can be
+    demonstrated — report 0 % rather than dividing by zero.
+    """
+    if nolb <= 0.0:
+        return 0.0
+    return 100.0 * (1.0 - lb / nolb)
+
+
 def headline_reductions(
     matrix: Dict[Tuple[str, int], CaseResult]
 ) -> List[HeadlineRow]:
@@ -649,17 +661,18 @@ def headline_reductions(
 
     Reduction = ``100 * (1 - LB / noLB)`` for the timing penalty and the
     energy overhead; the row reports each application's *worst* core
-    count.
+    count.  Cases whose noLB baseline is zero contribute a 0 % reduction
+    (nothing to reduce at that scale) instead of crashing.
     """
     apps = sorted({app for app, _ in matrix})
     rows = []
     for app in apps:
         cases = [c for (a, _), c in matrix.items() if a == app]
         pen = min(
-            100.0 * (1.0 - c.penalty_lb / c.penalty_nolb) for c in cases
+            _reduction_percent(c.penalty_lb, c.penalty_nolb) for c in cases
         )
         en = min(
-            100.0 * (1.0 - c.energy_overhead_lb / c.energy_overhead_nolb)
+            _reduction_percent(c.energy_overhead_lb, c.energy_overhead_nolb)
             for c in cases
         )
         rows.append(

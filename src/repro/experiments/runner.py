@@ -80,14 +80,38 @@ class ExperimentResult:
 
 
 def run_scenario(
-    scenario: Scenario, *, telemetry: Optional[Telemetry] = None
+    scenario: Scenario,
+    *,
+    telemetry: Optional[Telemetry] = None,
+    backend: str = "auto",
 ) -> ExperimentResult:
     """Execute ``scenario`` on a fresh simulated cluster.
 
     ``telemetry`` (optional) is attached to the *application* runtime: it
     collects per-LB-step audit records and run metrics without affecting
     the simulation (results are bit-identical with or without it).
+
+    ``backend`` selects the simulation backend:
+
+    * ``"events"`` — the discrete-event engine (always available);
+    * ``"fast"`` — the vectorized fast path (:mod:`repro.sim.fastpath`);
+      raises :class:`~repro.sim.fastpath.FastpathUnsupported` if the
+      scenario needs per-event artifacts;
+    * ``"auto"`` (default) — the fast path when supported, else events.
+
+    The two backends are bit-identical on every result field; the parity
+    suite (``tests/experiments/test_backend_parity.py``) enforces this.
     """
+    if backend not in ("auto", "events", "fast"):
+        raise ValueError(f"unknown backend {backend!r}")
+    if backend != "events":
+        from repro.sim.fastpath import (
+            fastpath_unsupported_reason,
+            run_scenario_fast,
+        )
+
+        if backend == "fast" or fastpath_unsupported_reason(scenario) is None:
+            return run_scenario_fast(scenario, telemetry=telemetry)
     engine = SimulationEngine()
     cluster = Cluster(
         engine,

@@ -205,6 +205,10 @@ def _bg_weight_default(app_name: str) -> float:
     return _BG_WEIGHT.get(app_name, 1.0)
 
 
+#: canonical params JSON -> background iteration count (pure function)
+_BG_ITERATIONS_MEMO: Dict[str, int] = {}
+
+
 def background_iterations(params: Mapping[str, Any]) -> int:
     """Iterations of the 2-core background job for a ``bg=True`` point.
 
@@ -214,11 +218,17 @@ def background_iterations(params: Mapping[str, Any]) -> int:
     so the interference persists for the whole stretched run.
     Deterministic in the point's parameters, which keeps sweep points
     pure and lets the Fig. 2 preset compute the matching ``bg``-alone
-    run up front.
+    run up front. That determinism also makes the result memoisable:
+    the estimate builds throwaway model instances, which would otherwise
+    dominate repeated ``build_scenario`` calls on the same point.
     """
     from repro.experiments.figures import _bg_model, _estimate_iteration_time
 
     p = normalize_params(dict(params))
+    memo_key = canonical_json(p)
+    hit = _BG_ITERATIONS_MEMO.get(memo_key)
+    if hit is not None:
+        return hit
     weight = p["bg_weight"]
     if weight is None:
         weight = _bg_weight_default(p["app"])
@@ -228,7 +238,11 @@ def background_iterations(params: Mapping[str, Any]) -> int:
     model = _app_model(p["app"], p["scale"], p["seed"])
     app_est = _estimate_iteration_time(model, p["cores"]) * p["iterations"]
     bg_iter_est = _estimate_iteration_time(_bg_model(p["scale"]), 2)
-    return max(int(math.ceil(overlap * app_est / bg_iter_est)), 1)
+    n = max(int(math.ceil(overlap * app_est / bg_iter_est)), 1)
+    if len(_BG_ITERATIONS_MEMO) >= 4096:  # unbounded-growth backstop
+        _BG_ITERATIONS_MEMO.clear()
+    _BG_ITERATIONS_MEMO[memo_key] = n
+    return n
 
 
 def build_scenario(params: Mapping[str, Any]) -> Scenario:
@@ -352,13 +366,18 @@ def summarize_result(result: ExperimentResult) -> ScenarioSummary:
     )
 
 
-def run_point(params: Mapping[str, Any]) -> ScenarioSummary:
-    """Execute one parameter dict hermetically and summarise it."""
-    return summarize_result(run_scenario(build_scenario(params)))
+def run_point(params: Mapping[str, Any], *, backend: str = "auto") -> ScenarioSummary:
+    """Execute one parameter dict hermetically and summarise it.
+
+    ``backend`` selects the simulation backend (see
+    :func:`repro.experiments.runner.run_scenario`); summaries are
+    bit-identical across backends, so it never enters the cache key.
+    """
+    return summarize_result(run_scenario(build_scenario(params), backend=backend))
 
 
 def run_point_audited(
-    params: Mapping[str, Any],
+    params: Mapping[str, Any], *, backend: str = "auto"
 ) -> Tuple[ScenarioSummary, List[Dict[str, Any]], TraceLog, Dict[str, Any]]:
     """Execute one point with telemetry and the phase profiler attached.
 
@@ -371,11 +390,16 @@ def run_point_audited(
     ``profile`` is the exported host wall-clock phase breakdown
     (:meth:`repro.perf.PhaseProfiler.export`) — nondeterministic by
     nature, so it is written next to traces but never cached.
+
+    Audited points trace every task, which the fast backend cannot do:
+    ``backend="auto"`` therefore resolves to the event engine here, and
+    ``backend="fast"`` raises
+    :class:`~repro.sim.fastpath.FastpathUnsupported`.
     """
     telemetry = Telemetry()
     scenario = replace(build_scenario(params), tracing=True)
     with profiled(record_intervals=True) as prof:
-        result = run_scenario(scenario, telemetry=telemetry)
+        result = run_scenario(scenario, telemetry=telemetry, backend=backend)
     return (
         summarize_result(result),
         telemetry.audit.records,
@@ -384,22 +408,24 @@ def run_point_audited(
     )
 
 
-def _execute_point(payload: Tuple[int, Dict[str, Any]]) -> Tuple[int, Dict[str, Any], float, str]:
+def _execute_point(
+    payload: Tuple[int, Dict[str, Any], str],
+) -> Tuple[int, Dict[str, Any], float, str]:
     """Worker entry point: run one point, timing it (picklable, top-level)."""
-    index, params = payload
+    index, params, backend = payload
     t0 = time.perf_counter()
-    summary = run_point(params)
+    summary = run_point(params, backend=backend)
     wall = time.perf_counter() - t0
     return index, summary.to_dict(), wall, f"pid:{os.getpid()}"
 
 
 def _execute_point_audited(
-    payload: Tuple[int, Dict[str, Any]],
+    payload: Tuple[int, Dict[str, Any], str],
 ) -> Tuple[int, Dict[str, Any], List[Dict[str, Any]], TraceLog, Dict[str, Any], float, str]:
     """Worker entry point for audited runs (picklable, top-level)."""
-    index, params = payload
+    index, params, backend = payload
     t0 = time.perf_counter()
-    summary, records, trace, profile = run_point_audited(params)
+    summary, records, trace, profile = run_point_audited(params, backend=backend)
     wall = time.perf_counter() - t0
     return index, summary.to_dict(), records, trace, profile, wall, f"pid:{os.getpid()}"
 
@@ -604,6 +630,7 @@ def run_sweep(
     log: Optional[EventLog] = None,
     audit_dir: Optional[Union[str, Path]] = None,
     registry: Optional["RunRegistry"] = None,
+    backend: str = "auto",
 ) -> SweepResult:
     """Execute every point of ``spec``; returns ordered results + metrics.
 
@@ -634,9 +661,18 @@ def run_sweep(
         ``sweep_done``) and a ``run_registered`` event carrying the new
         ``run_id`` is emitted. Ingest is strictly post-hoc — the
         per-point execution path never sees the registry.
+    backend:
+        Simulation backend for executed points (``"auto"``, ``"events"``
+        or ``"fast"``; see :func:`repro.experiments.runner.run_scenario`).
+        Summaries are bit-identical across backends, so the cache key —
+        and therefore hits — are backend-independent. Audited points
+        (``audit_dir``) require per-task tracing and always run on the
+        event engine under ``"auto"``.
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
+    if backend not in ("auto", "events", "fast"):
+        raise ValueError(f"unknown backend {backend!r}")
     log = log if log is not None else EventLog()
     t_start = time.perf_counter()
 
@@ -754,13 +790,15 @@ def run_sweep(
             log.emit("point_start", label=p.label, key=keys[p.index])
             t0 = time.perf_counter()
             if audit_path is not None:
-                summary, records, trace, profile = run_point_audited(p.params)
+                summary, records, trace, profile = run_point_audited(
+                    p.params, backend=backend
+                )
                 finish(
                     p, summary, time.perf_counter() - t0, "main",
                     records=records, trace=trace, profile=profile,
                 )
             else:
-                summary = run_point(p.params)
+                summary = run_point(p.params, backend=backend)
                 finish(p, summary, time.perf_counter() - t0, "main")
     elif misses:
         by_index = {p.index: p for p in misses}
@@ -768,7 +806,7 @@ def run_sweep(
             futures = {}
             for p in misses:
                 log.emit("point_start", label=p.label, key=keys[p.index])
-                task = (p.index, p.params)
+                task = (p.index, p.params, backend)
                 fut = (
                     pool.submit(_execute_point_audited, task)
                     if audit_path is not None

@@ -211,6 +211,33 @@ def _bench_net_message_time() -> float:
     return n / wall
 
 
+def _bench_fastpath_runs() -> float:
+    """Fast-backend end-to-end run rate on an interfered, balanced scenario.
+
+    The scenario is the macro smoke point, so
+    ``micro.fastpath.runs_per_s x macro.smoke_point_events_s`` reads
+    directly as the backend speedup.
+    """
+    from repro.experiments.runner import run_scenario
+    from repro.experiments.sweep import build_scenario
+
+    params = {
+        "app": "jacobi2d",
+        "scale": 0.05,
+        "iterations": 10,
+        "cores": 4,
+        "bg": True,
+        "balancer": "refine-vm",
+    }
+    reps = 20
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        result = run_scenario(build_scenario(params), backend="fast")
+    wall = time.perf_counter() - t0
+    assert result.app.finished_at > 0.0
+    return reps / wall
+
+
 def _bench_cache_roundtrip() -> float:
     """Result-cache put+get rate (atomic JSON entries on local disk)."""
     from repro.experiments.cache import ResultCache
@@ -234,8 +261,14 @@ def _bench_cache_roundtrip() -> float:
 # ---------------------------------------------------------------------------
 
 
-def _bench_smoke_point() -> float:
-    """End-to-end wall time of one interfered, balanced smoke scenario."""
+def _bench_smoke_point(backend: str = "auto") -> float:
+    """End-to-end wall time of one interfered, balanced smoke scenario.
+
+    ``backend`` is the macro suite's backend dimension: the default
+    metric measures the production path (``auto`` → fast), the
+    ``*_events_s`` variant forces the event engine, and their ratio is
+    the measured backend speedup.
+    """
     from repro.experiments.sweep import run_point
 
     t0 = time.perf_counter()
@@ -247,18 +280,19 @@ def _bench_smoke_point() -> float:
             "cores": 4,
             "bg": True,
             "balancer": "refine-vm",
-        }
+        },
+        backend=backend,
     )
     return time.perf_counter() - t0
 
 
-def _bench_smoke_sweep() -> float:
+def _bench_smoke_sweep(backend: str = "auto") -> float:
     """End-to-end wall time of the CI smoke sweep (4 points, serial)."""
     from repro.experiments.sweep import run_sweep
     from repro.experiments.sweep_presets import smoke_spec
 
     t0 = time.perf_counter()
-    run_sweep(smoke_spec(), workers=1, cache=None)
+    run_sweep(smoke_spec(), workers=1, cache=None, backend=backend)
     return time.perf_counter() - t0
 
 
@@ -271,9 +305,12 @@ def default_benchmarks() -> List[Benchmark]:
         Benchmark("lb.greedy.decisions_per_s", "micro", "decisions/s", HIGHER, _bench_greedy_decisions),
         Benchmark("lb.view_build_per_s", "micro", "views/s", HIGHER, _bench_view_build),
         Benchmark("net.message_time_per_s", "micro", "calls/s", HIGHER, _bench_net_message_time),
+        Benchmark("fastpath.runs_per_s", "micro", "runs/s", HIGHER, _bench_fastpath_runs),
         Benchmark("cache.roundtrip_per_s", "micro", "ops/s", HIGHER, _bench_cache_roundtrip),
         Benchmark("macro.smoke_point_s", "macro", "s", LOWER, _bench_smoke_point, max_repeats=3, max_warmup=1),
+        Benchmark("macro.smoke_point_events_s", "macro", "s", LOWER, lambda: _bench_smoke_point("events"), max_repeats=3, max_warmup=1),
         Benchmark("macro.smoke_sweep_s", "macro", "s", LOWER, _bench_smoke_sweep, max_repeats=3, max_warmup=1),
+        Benchmark("macro.smoke_sweep_events_s", "macro", "s", LOWER, lambda: _bench_smoke_sweep("events"), max_repeats=3, max_warmup=1),
     ]
 
 

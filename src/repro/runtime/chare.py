@@ -24,6 +24,8 @@ __all__ = ["Chare", "ChareArray"]
 
 ChareKey = Tuple[str, int]
 
+_INF = float("inf")
+
 
 class Chare:
     """One migratable object.
@@ -41,8 +43,16 @@ class Chare:
     """
 
     def __init__(self, index: int, *, state_bytes: float = 0.0) -> None:
-        check_non_negative("index", index)
-        check_non_negative("state_bytes", state_bytes)
+        # constructed per chare per run: inline comparisons accept the
+        # common case, the full checkers handle everything else
+        if not (
+            type(index) is int
+            and index >= 0
+            and type(state_bytes) is float
+            and 0.0 <= state_bytes < _INF
+        ):
+            check_non_negative("index", index)
+            check_non_negative("state_bytes", state_bytes)
         self.index = int(index)
         self.state_bytes = float(state_bytes)
         #: set by the owning array on registration

@@ -10,6 +10,7 @@ message execution).
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass
 from typing import Tuple
 
@@ -17,8 +18,12 @@ __all__ = ["ComputeMsg", "MigrateMsg"]
 
 ChareKey = Tuple[str, int]
 
+# messages are allocated per entry-method execution — worth __slots__
+# (dataclass support landed in 3.10; plain dicts on 3.9)
+_SLOTS = {"slots": True} if sys.version_info >= (3, 10) else {}
 
-@dataclass(frozen=True)
+
+@dataclass(frozen=True, **_SLOTS)
 class ComputeMsg:
     """Run one iteration's entry method on a chare.
 
@@ -34,7 +39,7 @@ class ComputeMsg:
     iteration: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **_SLOTS)
 class MigrateMsg:
     """Record of a chare state transfer (for traces; cost handled by runtime).
 

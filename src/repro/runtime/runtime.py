@@ -53,10 +53,75 @@ from repro.sim.process import SimProcess
 from repro.telemetry import Telemetry
 from repro.util import check_non_negative, check_positive, get_logger
 
-__all__ = ["Runtime", "RunStats"]
+__all__ = ["Runtime", "RunStats", "compute_comm_delay", "apply_migrations"]
 
 ChareKey = Tuple[str, int]
 _log = get_logger(__name__)
+
+
+def compute_comm_delay(
+    *,
+    net: NetworkModel,
+    num_cores: int,
+    comm_bytes: float = 0.0,
+    comm_graph: Optional["CommGraph"] = None,
+    mapping: Optional[Dict[ChareKey, int]] = None,
+    node_of: Optional[Dict[int, int]] = None,
+    local_comm_factor: float = 0.25,
+) -> float:
+    """Per-iteration communication delay: halo exchange + reduction tree.
+
+    Shared by the event-driven :class:`Runtime` and the fast-path backend
+    (:mod:`repro.sim.fastpath`) so both charge bit-identical delays. With a
+    :class:`CommGraph`, the halo term is the slowest core's effective
+    external traffic under the *current* ``mapping``; without one, the flat
+    ``comm_bytes`` is used.
+    """
+    if comm_graph is not None:
+        per_core = comm_graph.per_core_external_bytes(
+            mapping if mapping is not None else {},
+            node_of=node_of,
+            local_factor=local_comm_factor,
+        )
+        worst = max(per_core.values(), default=0.0)
+        halo = net.message_time(worst) if worst > 0 else 0.0
+    else:
+        halo = net.message_time(comm_bytes) if comm_bytes else 0.0
+    tree = Reduction.tree_latency(num_cores, net)
+    return halo + tree
+
+
+def apply_migrations(
+    migrations: Sequence[Migration],
+    *,
+    chares: Dict[ChareKey, Chare],
+    mapping: Dict[ChareKey, int],
+    net: NetworkModel,
+    node_of: Dict[int, int],
+    local_comm_factor: float,
+) -> float:
+    """Re-map objects in place and return the transfer wall-clock cost.
+
+    Transfers proceed in parallel across cores but serialise per core's
+    link: cost = max over cores of its inbound+outbound sum. Migrations
+    between cores of the same node move through shared memory and are
+    discounted by ``local_comm_factor``. Mutates ``mapping`` and each
+    migrated chare's ``current_core``/``migrations`` counters exactly as
+    the event-driven runtime does.
+    """
+    per_core: Dict[int, float] = {}
+    for m in migrations:
+        chare = chares[m.chare]
+        t = net.migration_time(chare.state_bytes)
+        if node_of.get(m.src) == node_of.get(m.dst):
+            t *= local_comm_factor
+        per_core[m.src] = per_core.get(m.src, 0.0) + t
+        per_core[m.dst] = per_core.get(m.dst, 0.0) + t
+        mapping[m.chare] = m.dst
+        chare.current_core = m.dst
+        chare.migrations += 1
+        chare.on_migrate(m.src, m.dst)
+    return max(per_core.values(), default=0.0)
 
 
 @dataclass(frozen=True)
@@ -447,18 +512,15 @@ class Runtime:
         locality-preserving balancer genuinely shortens this delay.
         Without one, the application-declared flat ``comm_bytes`` is used.
         """
-        if self.comm_graph is not None:
-            per_core = self.comm_graph.per_core_external_bytes(
-                self.mapping,
-                node_of=self._node_of,
-                local_factor=self.local_comm_factor,
-            )
-            worst = max(per_core.values(), default=0.0)
-            halo = self.net.message_time(worst) if worst > 0 else 0.0
-        else:
-            halo = self.net.message_time(self.comm_bytes) if self.comm_bytes else 0.0
-        tree = Reduction.tree_latency(len(self.core_ids), self.net)
-        return halo + tree
+        return compute_comm_delay(
+            net=self.net,
+            num_cores=len(self.core_ids),
+            comm_bytes=self.comm_bytes,
+            comm_graph=self.comm_graph,
+            mapping=self.mapping,
+            node_of=self._node_of,
+            local_comm_factor=self.local_comm_factor,
+        )
 
     # ------------------------------------------------------------------
     # load balancing
@@ -566,28 +628,24 @@ class Runtime:
         asymmetry that locality-preferring strategies
         (:class:`~repro.core.hierarchical.HierarchicalLB`) exploit.
         """
-        per_core: Dict[int, float] = {}
+        cost = apply_migrations(
+            migrations,
+            chares=self.chares,
+            mapping=self.mapping,
+            net=self.net,
+            node_of=self._node_of,
+            local_comm_factor=self.local_comm_factor,
+        )
+        self.migration_count += len(migrations)
         for m in migrations:
-            chare = self.chares[m.chare]
-            t = self.net.migration_time(chare.state_bytes)
-            if self._node_of.get(m.src) == self._node_of.get(m.dst):
-                t *= self.local_comm_factor
-            per_core[m.src] = per_core.get(m.src, 0.0) + t
-            per_core[m.dst] = per_core.get(m.dst, 0.0) + t
-            self.mapping[m.chare] = m.dst
-            chare.current_core = m.dst
-            chare.migrations += 1
-            chare.on_migrate(m.src, m.dst)
-            self.migration_count += 1
             self.trace.add_migration(
                 MigrationEvent(
                     time=self.engine.now,
                     chare=m.chare,
                     src=m.src,
                     dst=m.dst,
-                    state_bytes=chare.state_bytes,
+                    state_bytes=self.chares[m.chare].state_bytes,
                 )
             )
-        cost = max(per_core.values(), default=0.0)
         self.migration_cost_s += cost
         return cost

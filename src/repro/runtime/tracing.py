@@ -12,6 +12,7 @@ accepts events and drops them, so call sites stay unconditional.
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
@@ -25,8 +26,12 @@ __all__ = [
 
 ChareKey = Tuple[str, int]
 
+# one event per entry-method execution when tracing — worth __slots__
+# (dataclass support landed in 3.10; plain dicts on 3.9)
+_SLOTS = {"slots": True} if sys.version_info >= (3, 10) else {}
 
-@dataclass(frozen=True)
+
+@dataclass(frozen=True, **_SLOTS)
 class TaskEvent:
     """One entry-method execution interval on a core.
 
@@ -42,7 +47,7 @@ class TaskEvent:
     cpu_time: float
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **_SLOTS)
 class IterationEvent:
     """Completion of one application iteration."""
 
@@ -51,7 +56,7 @@ class IterationEvent:
     end: float
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **_SLOTS)
 class LBStepEvent:
     """One load-balancing step."""
 
@@ -63,7 +68,7 @@ class LBStepEvent:
     max_load: float
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **_SLOTS)
 class MigrationEvent:
     """One object migration."""
 

@@ -13,13 +13,24 @@ the core this small makes its invariants easy to state and property-test:
 * time never decreases;
 * a cancelled event never fires;
 * events at the same timestamp fire in FIFO order.
+
+Hot-path design notes
+---------------------
+The heap stores :class:`EventHandle` objects directly (ordered by
+``(time, seq)`` via ``__lt__``) rather than ``(time, seq, handle)``
+tuples — one allocation less per event and no tuple unpacking per pop.
+Handles carry ``__slots__``; at millions of events the per-event dict of
+a plain class dominates allocation cost. Cancelled events are removed
+lazily on pop, but when they outnumber the live events the heap is
+compacted in one O(n) pass, so pathological cancel-heavy workloads (every
+scheduling change of a :class:`~repro.sim.cpu.SharedCore` cancels its
+previous projections) cannot grow the heap without bound.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional, Tuple
+from typing import Any, Callable, List, Optional
 
 from repro.perf.profiler import active as _profiler
 from repro.util import check_non_negative, get_logger
@@ -28,8 +39,13 @@ __all__ = ["EventHandle", "SimulationEngine"]
 
 _log = get_logger(__name__)
 
+#: Heaps smaller than this are never compacted — the O(n) rebuild would
+#: cost more than the lazy pops it saves.
+_COMPACT_MIN_HEAP = 64
 
-@dataclass(order=False)
+_INF = float("inf")
+
+
 class EventHandle:
     """Handle to a scheduled event; returned by ``schedule_*`` methods.
 
@@ -46,16 +62,36 @@ class EventHandle:
         True once the callback ran.
     """
 
-    time: float
-    seq: int
-    callback: Callable[..., None] = field(repr=False)
-    args: Tuple[Any, ...] = field(default=(), repr=False)
-    cancelled: bool = False
-    fired: bool = False
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "fired")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., None],
+        args: tuple = (),
+        cancelled: bool = False,
+        fired: bool = False,
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = cancelled
+        self.fired = fired
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
 
     def cancel(self) -> None:
         """Mark the event cancelled (idempotent; no effect if fired)."""
         self.cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else ("fired" if self.fired else "pending")
+        return f"EventHandle(time={self.time!r}, seq={self.seq}, {state})"
 
 
 class SimulationEngine:
@@ -76,10 +112,12 @@ class SimulationEngine:
 
     def __init__(self) -> None:
         self._now: float = 0.0
-        self._heap: List[Tuple[float, int, EventHandle]] = []
+        self._heap: List[EventHandle] = []
         self._seq: int = 0
         self._events_fired: int = 0
         self._events_cancelled: int = 0
+        #: cancelled handles still sitting in the heap (lazy deletion debt)
+        self._stale: int = 0
         self._running: bool = False
 
     # ------------------------------------------------------------------
@@ -93,7 +131,7 @@ class SimulationEngine:
     @property
     def pending(self) -> int:
         """Number of scheduled, not-yet-fired, not-cancelled events."""
-        return sum(1 for _, _, h in self._heap if not h.cancelled)
+        return len(self._heap) - self._stale
 
     @property
     def events_fired(self) -> int:
@@ -122,32 +160,59 @@ class SimulationEngine:
             raise ValueError(
                 f"cannot schedule event in the past: time={time} < now={self._now}"
             )
-        handle = EventHandle(time=time, seq=self._seq, callback=callback, args=args)
+        handle = EventHandle(time, self._seq, callback, args)
         self._seq += 1
-        heapq.heappush(self._heap, (handle.time, handle.seq, handle))
+        heapq.heappush(self._heap, handle)
         return handle
 
     def schedule_after(
         self, delay: float, callback: Callable[..., None], *args: Any
     ) -> EventHandle:
         """Schedule ``callback(*args)`` after ``delay`` seconds (>= 0)."""
-        check_non_negative("delay", delay)
+        # hot path (every projection reschedule): inline comparisons accept
+        # the common case; the full checker handles everything else
+        t = type(delay)
+        if not ((t is float or t is int) and 0 <= delay < _INF):
+            check_non_negative("delay", delay)
         return self.schedule_at(self._now + delay, callback, *args)
 
     def cancel(self, handle: EventHandle) -> None:
-        """Cancel a previously scheduled event (lazy removal)."""
+        """Cancel a previously scheduled event (lazy removal).
+
+        When cancelled-but-unpopped events come to dominate the heap, it
+        is compacted in one pass — lazy deletion stays O(log n) amortised
+        without letting dead events accumulate unboundedly.
+        """
         if not handle.fired and not handle.cancelled:
-            handle.cancel()
+            handle.cancelled = True
             self._events_cancelled += 1
+            self._stale += 1
+            if (
+                self._stale * 2 > len(self._heap)
+                and len(self._heap) >= _COMPACT_MIN_HEAP
+            ):
+                self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled events from the heap and re-heapify (O(n)).
+
+        In place — ``run`` holds a local alias to the heap list, so the
+        list object must never be replaced.
+        """
+        self._heap[:] = [h for h in self._heap if not h.cancelled]
+        heapq.heapify(self._heap)
+        self._stale = 0
 
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
     def step(self) -> bool:
         """Fire the next pending event. Return False if none remain."""
-        while self._heap:
-            _, _, handle = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            handle = heapq.heappop(heap)
             if handle.cancelled:
+                self._stale -= 1
                 continue
             self._now = handle.time
             handle.fired = True
@@ -168,21 +233,24 @@ class SimulationEngine:
             raise RuntimeError("SimulationEngine.run is not reentrant")
         self._running = True
         fired = 0
+        heap = self._heap
+        heappop = heapq.heappop
         # one scoped timer per run() call (never per event), so the
         # disabled profiler costs nothing measurable in the event loop
         try:
             with _profiler().phase("engine.run"):
-                while self._heap:
+                while heap:
                     if max_events is not None and fired >= max_events:
                         return
-                    time, seq, handle = self._heap[0]
+                    handle = heap[0]
                     if handle.cancelled:
-                        heapq.heappop(self._heap)
+                        heappop(heap)
+                        self._stale -= 1
                         continue
-                    if until is not None and time > until:
+                    if until is not None and handle.time > until:
                         break
-                    heapq.heappop(self._heap)
-                    self._now = time
+                    heappop(heap)
+                    self._now = handle.time
                     handle.fired = True
                     self._events_fired += 1
                     handle.callback(*handle.args)

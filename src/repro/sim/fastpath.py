@@ -1,0 +1,1098 @@
+"""Fast-path simulation backend: whole-iteration analytic advancement.
+
+The event engine executes one heap-scheduled callback per task dispatch,
+completion projection, and barrier — faithful, but most of a sweep's wall
+clock goes to Python event dispatch rather than LB decisions. This module
+exploits the structure of the workloads this harness simulates
+(barrier-synchronized iterative jobs under proportional-share cores, the
+same structure RUPER-LB and "Anticipating Load Imbalance" model
+analytically per balancing interval) to advance whole iterations at a
+time, dropping to an exact event-by-event *replay* only where jobs
+actually interact.
+
+Exactness contract
+------------------
+The fast path is **bit-identical** to the event engine — not approximately
+equal. Every float the event engine folds (per-core busy/idle/owner CPU
+accrual, per-task CPU time, iteration wall times, Eq.-(2) background
+loads, migration costs, energy) is folded here in the same order with the
+same primitive operations, so IEEE-754 produces the same bits:
+
+* **Solo cores** (no co-runner can touch the core mid-iteration): a task
+  chain under processor sharing with a single runnable process completes
+  at the fold ``end_k = end_{k-1} + demand_k`` — exactly the floats the
+  engine's dispatch/projection events produce, because a solo share is
+  ``w/w == 1.0`` and ``dt * 1.0 == dt``. The chain is evaluated as a NumPy
+  prefix sum (``np.add.accumulate`` is a sequential left fold) for large
+  chains and a scalar loop for short ones — identical results; a unit
+  test pins that equivalence. The engine's completion-epsilon
+  re-projection (``remaining > 1e-9`` at the projected completion) is
+  detected from the residuals and re-run in exact scalar form.
+* **Contended cores** (application and background sharing a core, the
+  paper's Figure 1 mechanism): replayed change-by-change with the exact
+  accrual arithmetic of :class:`~repro.sim.cpu.SharedCore._accrue`, one
+  candidate completion event per scheduling change instead of one event
+  per runnable process.
+* **Everything else** (communication delays, LB policy/strategy, LB
+  database, migration application, telemetry audit records, power model)
+  is the *same code* the event engine uses — shared helpers and the real
+  :class:`~repro.core.database.LBDatabase`,
+  :class:`~repro.sim.procstat.ProcStat` and
+  :class:`~repro.core.balancer.LoadBalancer` objects operate on
+  duck-typed fast cores.
+
+A core is eligible for solo-analytic advancement only while no *other*
+unfinished job can observe it mid-iteration — either by running on it or
+by syncing it (the power meter reads every core of the application's
+nodes when the application finishes). Cores failing that test are
+replayed; correctness never depends on the classification being tight.
+
+Scenarios using ``tracing`` or ``record_intervals`` (per-event artifacts
+by definition) are not supported; ``backend="auto"`` falls back to the
+event engine for them.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.cluster.netmodel import NetworkModel
+from repro.core.database import LBDatabase
+from repro.core.policies import LBPolicy
+from repro.experiments.scenario import Scenario
+from repro.perf.profiler import active as _profiler
+from repro.power.meter import EnergyReading
+from repro.power.model import PowerModel
+from repro.runtime.runtime import (
+    RunStats,
+    apply_migrations,
+    compute_comm_delay,
+)
+from repro.runtime.tracing import TraceLog
+from repro.sim.cpu import _COMPLETION_EPS
+from repro.sim.procstat import ProcStat
+from repro.telemetry import Telemetry
+from repro.util import check_positive
+
+__all__ = [
+    "FastpathUnsupported",
+    "fastpath_unsupported_reason",
+    "run_scenario_fast",
+]
+
+ChareKey = Tuple[str, int]
+
+#: Below this many tasks the scalar chain fold beats NumPy call overhead.
+_VEC_MIN = 16
+
+# event kinds (heap entries are (time, seq, kind, obj, arg) tuples; the
+# unique seq guarantees comparisons never reach obj)
+_EV_LAUNCH = 0
+_EV_BEGIN = 1
+_EV_ARRIVE = 2
+_EV_CMPL = 3
+_EV_LB = 4
+
+
+class FastpathUnsupported(RuntimeError):
+    """Raised when ``backend="fast"`` is forced on an unsupported scenario."""
+
+
+def fastpath_unsupported_reason(scenario: Scenario) -> Optional[str]:
+    """Why ``scenario`` cannot use the fast path, or None if it can.
+
+    ``backend="auto"`` routes scenarios with a reason to the event engine.
+    """
+    if scenario.tracing:
+        return "tracing records per-event artifacts (event engine only)"
+    if scenario.record_intervals:
+        return "record_intervals logs per-event busy intervals (event engine only)"
+    return None
+
+
+class _FastSim:
+    """Minimal clock + event heap shared by all fast jobs of one run."""
+
+    __slots__ = ("now", "_heap", "_seq")
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: List[tuple] = []
+        self._seq: int = 0
+
+    def push(self, time: float, kind: int, obj, arg) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (time, self._seq, kind, obj, arg))
+
+    def run(self) -> None:
+        heap = self._heap
+        pop = heapq.heappop
+        while heap:
+            time, _seq, kind, obj, arg = pop(heap)
+            # stale candidates must not touch the clock: batched jobs may
+            # have advanced it past this event's (dead) timestamp already
+            if kind == _EV_CMPL:
+                if arg == obj.version:  # else: stale candidate, skip
+                    self.now = time
+                    obj.on_completion(time)
+            elif kind == _EV_ARRIVE:
+                self.now = time
+                obj._core_drained(time)
+            elif kind == _EV_BEGIN:
+                self.now = time
+                obj._begin_iteration(arg, time)
+            elif kind == _EV_LB:
+                self.now = time
+                obj._lb_step(arg, time)
+            else:  # _EV_LAUNCH
+                self.now = time
+                obj._launch(time)
+
+
+class _FastProc:
+    """One runnable task on a replayed core (mirrors SimProcess accrual).
+
+    The object doubles as the job's per-core dispatch cursor: it is
+    recycled for every task of its job's queue on ``core`` within an
+    iteration, carrying the queue (``keys``/``chs``/``qpos``) so a
+    completion can dispatch the next task without any dict lookups.
+    """
+
+    __slots__ = (
+        "job", "key", "chare", "owner", "weight",
+        "remaining", "cpu_time", "started_at", "cid", "rank",
+        "core", "keys", "chs", "qpos",
+    )
+
+    def __init__(self, job, key, chare, weight, remaining, started_at, cid, rank):
+        self.job = job
+        self.key = key
+        self.chare = chare
+        self.owner = job.name
+        self.weight = weight
+        self.remaining = remaining
+        self.cpu_time = 0.0
+        self.started_at = started_at
+        self.cid = cid
+        self.rank = rank
+        self.core = None
+        self.keys = ()
+        self.chs = ()
+        self.qpos = 0
+
+
+class _FastCore:
+    """Duck-typed stand-in for :class:`~repro.sim.cpu.SharedCore`.
+
+    Exposes exactly the surface :class:`~repro.sim.procstat.ProcStat`
+    reads (``engine.now``, ``sync()``, ``busy_time``, ``idle_time``,
+    ``owner_cpu``) plus the replay machinery. Accrual arithmetic is a
+    verbatim transcription of ``SharedCore._accrue``.
+    """
+
+    __slots__ = (
+        "engine", "core_id", "speed", "busy_time", "idle_time",
+        "cpu_by_owner", "last", "procs", "version", "jobs", "readers",
+        "_cand_proc", "_cand_sched",
+    )
+
+    def __init__(self, sim: _FastSim, core_id: int) -> None:
+        self.engine = sim  # named for ProcStat, which reads core.engine.now
+        self.core_id = core_id
+        self.speed = 1.0
+        self.busy_time = 0.0
+        self.idle_time = 0.0
+        self.cpu_by_owner: Dict[str, float] = {}
+        self.last = sim.now
+        self.procs: List[_FastProc] = []
+        self.version = 0
+        self.jobs: List["_FastJob"] = []
+        self.readers: List["_FastJob"] = []
+        self._cand_proc = 0
+        self._cand_sched = 0.0
+
+    # -- ProcStat / telemetry surface ---------------------------------
+    def sync(self) -> None:
+        self.accrue(self.engine.now)
+
+    def owner_cpu(self, owner: str) -> float:
+        return self.cpu_by_owner.get(owner, 0.0)
+
+    # -- replay machinery ----------------------------------------------
+    def accrue(self, now: float) -> None:
+        dt = now - self.last
+        if dt > 0.0:
+            procs = self.procs
+            n = len(procs)
+            if n == 1:
+                # sole runner: share == dt * (w/w) == dt exactly
+                p = procs[0]
+                self.busy_time += dt
+                p.cpu_time += dt
+                p.remaining -= dt * self.speed
+                cbo = self.cpu_by_owner
+                cbo[p.owner] = cbo.get(p.owner, 0.0) + dt
+            elif n == 2:
+                # the dominant co-run shape (app + background job)
+                p0 = procs[0]
+                p1 = procs[1]
+                total_w = p0.weight + p1.weight
+                speed = self.speed
+                self.busy_time += dt
+                cbo = self.cpu_by_owner
+                share = dt * (p0.weight / total_w)
+                p0.cpu_time += share
+                p0.remaining -= share * speed
+                cbo[p0.owner] = cbo.get(p0.owner, 0.0) + share
+                share = dt * (p1.weight / total_w)
+                p1.cpu_time += share
+                p1.remaining -= share * speed
+                cbo[p1.owner] = cbo.get(p1.owner, 0.0) + share
+            elif n:
+                self.busy_time += dt
+                total_w = 0.0
+                for p in procs:
+                    total_w += p.weight
+                speed = self.speed
+                cbo = self.cpu_by_owner
+                for p in procs:
+                    share = dt * (p.weight / total_w)
+                    p.cpu_time += share
+                    p.remaining -= share * speed
+                    cbo[p.owner] = cbo.get(p.owner, 0.0) + share
+            else:
+                self.idle_time += dt
+            self.last = now
+        elif dt < 0.0:  # pragma: no cover - classification bug guard
+            raise RuntimeError(
+                f"core {self.core_id}: accrual time moved backwards "
+                f"({self.last} -> {now})"
+            )
+
+    def change(self, now: float) -> None:
+        """Runnable set changed: invalidate and push the next candidate.
+
+        The engine schedules one projected completion per runnable process
+        and lets version stamps kill the stale ones; only the *earliest*
+        (first-inserted on ties, matching dict order) ever fires validly,
+        so pushing just that one is equivalent and halves heap traffic.
+        """
+        self.version += 1
+        procs = self.procs
+        if not procs:
+            return
+        if len(procs) == 1:
+            # sole runner: share w/w == 1.0 exactly, so rate == speed
+            p = procs[0]
+            rem = p.remaining
+            if rem < 0.0:
+                rem = 0.0
+            self._cand_proc = 0
+            self._cand_sched = now
+            self.engine.push(now + rem / self.speed, _EV_CMPL, self, self.version)
+            return
+        if len(procs) == 2:
+            p0 = procs[0]
+            p1 = procs[1]
+            total_w = p0.weight + p1.weight
+            speed = self.speed
+            rem = p0.remaining
+            if rem < 0.0:
+                rem = 0.0
+            t0 = now + rem / ((p0.weight / total_w) * speed)
+            rem = p1.remaining
+            if rem < 0.0:
+                rem = 0.0
+            t1 = now + rem / ((p1.weight / total_w) * speed)
+            if t1 < t0:  # strict: first-inserted wins ties
+                self._cand_proc = 1
+                self._cand_sched = now
+                self.engine.push(t1, _EV_CMPL, self, self.version)
+            else:
+                self._cand_proc = 0
+                self._cand_sched = now
+                self.engine.push(t0, _EV_CMPL, self, self.version)
+            return
+        total_w = 0.0
+        for p in procs:
+            total_w += p.weight
+        speed = self.speed
+        best_t = None
+        best_i = 0
+        for i, p in enumerate(procs):
+            rate = (p.weight / total_w) * speed
+            rem = p.remaining
+            if rem < 0.0:
+                rem = 0.0
+            t = now + rem / rate
+            if best_t is None or t < best_t:
+                best_t = t
+                best_i = i
+        self._cand_proc = best_i
+        self._cand_sched = now
+        self.engine.push(best_t, _EV_CMPL, self, self.version)
+
+    def on_completion(self, t: float) -> None:
+        procs = self.procs
+        p = procs[self._cand_proc]
+        sched = self._cand_sched
+        self.accrue(t)
+        if p.remaining > _COMPLETION_EPS:
+            # projection landed a hair early (float round-off): re-project
+            self.change(t)
+            return
+        p.remaining = 0.0
+        procs.pop(self._cand_proc)
+        self.version += 1
+        v = self.version
+        # task completion bookkeeping, fused inline (the replay loop's
+        # single hottest block — one call frame instead of three)
+        job = p.job
+        cpu = p.cpu_time
+        ch = p.chare
+        ch.executions += 1
+        ch.total_cpu_time += cpu
+        # direct window-dict accumulation (see _run_solo_core): the share
+        # arithmetic only ever yields non-negative floats
+        tc = job.db._task_cpu
+        tc[p.key] = tc.get(p.key, 0.0) + cpu
+        # _begin_iteration pre-seeds every core id with 0.0
+        job._iter_core_wall[p.cid] += t - p.started_at
+        job._completions.append((t, sched, p.rank, cpu))
+        keys = p.keys
+        pos = p.qpos
+        if pos < len(keys):
+            # dispatch the core's next task inline, recycling the proc
+            # object (it just left self.procs and nothing else holds it;
+            # it carries the queue cursor, so no dict lookups here). The
+            # accrue(t) above guarantees self.last == t, so no re-accrual.
+            p.qpos = pos + 1
+            nxt = p.chs[pos]
+            d = nxt.work(job._iteration)
+            if d < 0:
+                raise ValueError(
+                    f"{nxt!r}.work({job._iteration}) returned negative {d}"
+                )
+            p.key = keys[pos]
+            p.chare = nxt
+            p.remaining = d
+            p.cpu_time = 0.0
+            p.started_at = t
+            procs.append(p)
+            self.change(t)
+            return
+        job._core_drained(t)
+        if self.version == v and procs:
+            # the completion cascade did not dispatch onto this core:
+            # re-project the surviving co-runner ourselves
+            self.change(t)
+
+
+class _FastJob:
+    """One barrier-synchronized iterative job (mirrors Runtime)."""
+
+    def __init__(
+        self,
+        sim: _FastSim,
+        cores: Dict[int, _FastCore],
+        core_ids: List[int],
+        *,
+        name: str,
+        weight: float,
+        net: NetworkModel,
+        balancer,
+        policy,
+        comm_bytes: float,
+        comm_graph,
+        local_comm_factor: float,
+        cores_per_node: int,
+        telemetry: Optional[Telemetry],
+    ) -> None:
+        self.sim = sim
+        self.cores = cores
+        self.core_ids = core_ids
+        self.name = name
+        self.weight = float(weight)
+        self.net = net
+        self.balancer = balancer
+        self.policy = policy
+        self.comm_bytes = float(comm_bytes)
+        self.comm_graph = comm_graph
+        self.local_comm_factor = float(local_comm_factor)
+        self.telemetry = telemetry
+        if telemetry is not None and balancer is not None:
+            balancer.attach_telemetry(telemetry)
+        self._node_of: Dict[int, int] = {
+            cid: cid // cores_per_node for cid in core_ids
+        }
+        self.chares: Dict[ChareKey, object] = {}
+        self.mapping: Dict[ChareKey, int] = {}
+        self.db: Optional[LBDatabase] = None
+        self._total_iterations = 0
+        self._iteration = 0
+        self._iter_started = 0.0
+        self._iter_core_wall: Dict[int, float] = {}
+        self._arrived = 0
+        self._expected = 0
+        self.finished_at: Optional[float] = None
+        self.iteration_times: List[float] = []
+        self.iteration_imbalance: List[float] = []
+        self.lb_step_count = 0
+        self.migration_count = 0
+        self.migration_cost_s = 0.0
+        self.total_task_cpu_s = 0.0
+        self._last_lb_completed = 0
+        self._bg_window_base: Dict[int, float] = {}
+        #: the run's other jobs (set by the driver; gates batched mode)
+        self.others: List["_FastJob"] = []
+        self._on_finish: List[Callable[["_FastJob"], None]] = []
+        # per-iteration completion buffer: (end, sched, core_rank, cpu).
+        # Sorted at the barrier, this reproduces the engine's chronological
+        # (time, event-seq) fold order for total_task_cpu_s.
+        self._completions: List[Tuple[float, float, int, float]] = []
+        # per-core sorted task lists, rebuilt after migrations
+        self._percore_keys: Dict[int, List[ChareKey]] = {}
+        self._percore_chares: Dict[int, list] = {}
+        self._percore_dirty = True
+        self._comm_delay_cache: Optional[float] = None
+        for cid in core_ids:
+            cores[cid].jobs.append(self)
+
+    # ------------------------------------------------------------------
+    # setup / results
+    # ------------------------------------------------------------------
+    def register(self, array, core_ids: List[int]) -> None:
+        """Block-map ``array`` onto the job's cores (as Runtime does)."""
+        placement = array.block_mapping(core_ids)
+        for chare in array:
+            cid = placement[chare.key]
+            self.chares[chare.key] = chare
+            self.mapping[chare.key] = cid
+            chare.current_core = cid
+
+    def start(self, iterations: int, *, at: Optional[float] = None) -> None:
+        check_positive("iterations", iterations)
+        self._total_iterations = int(iterations)
+        self.sim.push(
+            self.sim.now if at is None else at, _EV_LAUNCH, self, 0
+        )
+
+    @property
+    def stats(self) -> RunStats:
+        return RunStats(
+            name=self.name,
+            finished_at=self.finished_at,
+            iterations=self._total_iterations,
+            iteration_times=tuple(self.iteration_times),
+            lb_steps=self.lb_step_count,
+            total_migrations=self.migration_count,
+            total_migration_cost_s=self.migration_cost_s,
+            total_task_cpu_s=self.total_task_cpu_s,
+        )
+
+    # ------------------------------------------------------------------
+    # iteration machinery
+    # ------------------------------------------------------------------
+    def _launch(self, t: float) -> None:
+        # snapshot the instrumentation window at launch, not construction
+        procstat = ProcStat(
+            {cid: self.cores[cid] for cid in self.core_ids}, self.name
+        )
+        state_bytes = {k: c.state_bytes for k, c in self.chares.items()}
+        comm = None
+        if self.comm_graph is not None:
+            comm = {key: self.comm_graph.neighbors(key) for key in self.chares}
+        self.db = LBDatabase(procstat, state_bytes, comm=comm)
+        if self.telemetry is not None:
+            self._bg_window_base = self._true_bg_cpu()
+        self._begin_iteration(0, t)
+
+    def _rebuild_percore(self) -> None:
+        per: Dict[int, List[ChareKey]] = {cid: [] for cid in self.core_ids}
+        for key, cid in self.mapping.items():
+            per[cid].append(key)
+        chares = self.chares
+        self._percore_keys = {cid: sorted(per[cid]) for cid in self.core_ids}
+        self._percore_chares = {
+            cid: [chares[k] for k in keys]
+            for cid, keys in self._percore_keys.items()
+        }
+        self._percore_dirty = False
+
+    def _solo(self, core: _FastCore) -> bool:
+        """May this iteration run analytically on ``core``?
+
+        Only if no other unfinished job can run on or sync the core
+        mid-iteration (readers: the power meter touches every core of the
+        application's nodes at application finish).
+        """
+        for other in core.jobs:
+            if other is not self and other.finished_at is None:
+                return False
+        for other in core.readers:
+            if other is not self and other.finished_at is None:
+                return False
+        return True
+
+    def _batchable(self) -> bool:
+        """True when every other job of the run is finished.
+
+        From that point on nothing outside this job can schedule events,
+        run on its cores, or read the clock, so the whole remainder of the
+        run — iterations, barriers, LB steps, the finish callbacks — can
+        execute inline with ``sim.now`` advanced directly, without a
+        single heap event.
+        """
+        for other in self.others:
+            if other.finished_at is None:
+                return False
+        return True
+
+    def _begin_iteration(self, iteration: int, T: float) -> None:
+        if self._batchable():
+            self._run_batched(iteration, T)
+            return
+        self._iteration = iteration
+        self._iter_started = T
+        self._iter_core_wall = {cid: 0.0 for cid in self.core_ids}
+        self._arrived = 0
+        self._expected = len(self.core_ids)
+        if self._percore_dirty:
+            self._rebuild_percore()
+        sim = self.sim
+        empty = 0
+        for rank, cid in enumerate(self.core_ids):
+            keys = self._percore_keys[cid]
+            if not keys:
+                empty += 1
+                continue
+            core = self.cores[cid]
+            if self._solo(core):
+                end = self._run_solo_core(
+                    core, cid, keys, self._percore_chares[cid],
+                    iteration, T, rank,
+                )
+                sim.push(end, _EV_ARRIVE, self, 0)
+            else:
+                self._dispatch(cid, 0, T, rank)
+        for _ in range(empty):  # object-less cores arrive instantly
+            self._core_drained(T)
+
+    # -- solo-analytic advancement -------------------------------------
+    def _run_solo_core(
+        self, core, cid, keys, chs, iteration, T, rank
+    ) -> float:
+        """Advance one core's whole iteration without events.
+
+        Returns the barrier-arrival time. Every fold replicates the
+        accrual the engine performs at the corresponding dispatch or
+        completion event (solo share is exactly 1.0, so each task's
+        accrued CPU equals ``end_k - end_{k-1}``).
+        """
+        if len(chs) == 1:
+            # one task per core — the shape of every batched background
+            # iteration; same arithmetic as the scalar fold below, minus
+            # the list building and loop machinery
+            ch = chs[0]
+            d = ch.work(iteration)
+            if d < 0:
+                raise ValueError(
+                    f"{ch!r}.work({iteration}) returned negative {d}"
+                )
+            dt = T - core.last
+            if dt > 0.0:
+                core.idle_time += dt
+            cbo = core.cpu_by_owner
+            name = self.name
+            busy = core.busy_time
+            own = cbo.get(name, 0.0)
+            sched = T
+            e = T + d
+            c = e - T
+            rem = d - c
+            busy += c
+            own += c
+            cpu = c
+            t = e
+            while rem > _COMPLETION_EPS:
+                sched = t
+                e = t + rem
+                dtx = e - t
+                busy += dtx
+                own += dtx
+                cpu += dtx
+                rem -= dtx
+                t = e
+            ch.executions += 1
+            ch.total_cpu_time += cpu
+            k = keys[0]
+            tc = self.db._task_cpu
+            tc[k] = tc.get(k, 0.0) + cpu
+            self._completions.append((t, sched, rank, cpu))
+            core.busy_time = busy
+            cbo[name] = own
+            core.last = t
+            self._iter_core_wall[cid] = t - T
+            return t
+        work = []
+        for ch in chs:
+            d = ch.work(iteration)
+            if d < 0:
+                raise ValueError(
+                    f"{ch!r}.work({iteration}) returned negative {d}"
+                )
+            work.append(d)
+        dt = T - core.last
+        if dt > 0.0:  # idle gap since the core's last activity
+            core.idle_time += dt
+        name = self.name
+        # accumulate straight into the LB database's window dict — the
+        # record_task wrapper only adds validation, and ``work`` was
+        # already checked non-negative above
+        tc = self.db._task_cpu
+        tc_get = tc.get
+        comps = self._completions
+        busy = core.busy_time
+        own = core.cpu_by_owner.get(name, 0.0)
+        wall = 0.0
+        n = len(work)
+        if n >= _VEC_MIN:
+            arr = np.empty(n + 1)
+            arr[0] = T
+            arr[1:] = work
+            ends_v = np.add.accumulate(arr)  # sequential left fold
+            cpus_v = ends_v[1:] - ends_v[:-1]
+            if float(np.max(np.asarray(work) - cpus_v)) <= _COMPLETION_EPS:
+                ends = ends_v[1:].tolist()
+                cpus = cpus_v.tolist()
+                prev = T
+                for i in range(n):
+                    c = cpus[i]
+                    e = ends[i]
+                    busy += c
+                    own += c
+                    ch = chs[i]
+                    ch.executions += 1
+                    ch.total_cpu_time += c
+                    k = keys[i]
+                    tc[k] = tc_get(k, 0.0) + c
+                    wall += c  # == e - prev bit-for-bit
+                    comps.append((e, prev, rank, c))
+                    prev = e
+                core.busy_time = busy
+                core.cpu_by_owner[name] = own
+                core.last = prev
+                self._iter_core_wall[cid] = wall
+                return prev
+            # a residual exceeds the completion epsilon: the engine would
+            # re-project — fall through to the exact scalar replay
+        t = T
+        for i in range(n):
+            d = work[i]
+            start = t
+            sched = t
+            e = t + d
+            c = e - t
+            rem = d - c
+            busy += c
+            own += c
+            cpu = c
+            t = e
+            while rem > _COMPLETION_EPS:
+                # engine re-projection: new event at t + remaining
+                sched = t
+                e = t + rem
+                dtx = e - t
+                busy += dtx
+                own += dtx
+                cpu += dtx
+                rem -= dtx
+                t = e
+            ch = chs[i]
+            ch.executions += 1
+            ch.total_cpu_time += cpu
+            k = keys[i]
+            tc[k] = tc_get(k, 0.0) + cpu
+            wall += t - start
+            comps.append((t, sched, rank, cpu))
+        core.busy_time = busy
+        core.cpu_by_owner[name] = own
+        core.last = t
+        self._iter_core_wall[cid] = wall
+        return t
+
+    # -- replay path ----------------------------------------------------
+    def _dispatch(self, cid: int, pos: int, t: float, rank: int) -> None:
+        keys = self._percore_keys[cid]
+        chs = self._percore_chares[cid]
+        ch = chs[pos]
+        d = ch.work(self._iteration)
+        if d < 0:
+            raise ValueError(
+                f"{ch!r}.work({self._iteration}) returned negative {d}"
+            )
+        core = self.cores[cid]
+        if core.last != t:  # zero-width accruals are no-ops
+            core.accrue(t)
+        p = _FastProc(self, keys[pos], ch, self.weight, d, t, cid, rank)
+        p.core = core
+        p.keys = keys
+        p.chs = chs
+        p.qpos = pos + 1
+        core.procs.append(p)
+        core.change(t)
+
+    # -- barrier --------------------------------------------------------
+    def _core_drained(self, t: float) -> None:
+        self._arrived += 1
+        if self._arrived == self._expected:
+            self._end_iteration(t)
+
+    def _barrier_bookkeeping(self, t: float) -> int:
+        """Record one finished iteration; return the completed count."""
+        self.iteration_times.append(t - self._iter_started)
+        comps = self._completions
+        if comps:
+            # chronological (time, schedule-time, core) order == the event
+            # engine's completion order; fold task CPU in that order
+            comps.sort()
+            total = self.total_task_cpu_s
+            for entry in comps:
+                total += entry[3]
+            self.total_task_cpu_s = total
+            del comps[:]
+        self.iteration_imbalance.append(self._measure_imbalance())
+        if self.telemetry is not None:
+            self.telemetry.metrics.histogram("iteration_duration_s").observe(
+                self.iteration_times[-1]
+            )
+        return self._iteration + 1
+
+    def _finish(self, t: float) -> None:
+        self.finished_at = t
+        for cb in self._on_finish:
+            cb(self)
+        if self.telemetry is not None:
+            self._record_final_metrics()
+
+    def _comm_delay(self) -> float:
+        # pure function of the (net, mapping) inputs — cache between LB
+        # steps, invalidate whenever a migration changes the mapping
+        d = self._comm_delay_cache
+        if d is None:
+            d = compute_comm_delay(
+                net=self.net,
+                num_cores=len(self.core_ids),
+                comm_bytes=self.comm_bytes,
+                comm_graph=self.comm_graph,
+                mapping=self.mapping,
+                node_of=self._node_of,
+                local_comm_factor=self.local_comm_factor,
+            )
+            self._comm_delay_cache = d
+        return d
+
+    def _lb_due(self, completed: int) -> bool:
+        return self.balancer is not None and self.policy.due(
+            completed,
+            self._total_iterations,
+            imbalance=self.iteration_imbalance[-1],
+            since_last_lb=completed - self._last_lb_completed,
+        )
+
+    def _end_iteration(self, t: float) -> None:
+        completed = self._barrier_bookkeeping(t)
+        if completed == self._total_iterations:
+            self._finish(t)
+            return
+        delay = self._comm_delay()
+        if self._lb_due(completed):
+            self._last_lb_completed = completed
+            self.sim.push(t + delay, _EV_LB, self, completed)
+        else:
+            self.sim.push(t + delay, _EV_BEGIN, self, completed)
+
+    def _run_batched(self, iteration: int, T: float) -> None:
+        """Run the rest of the job inline — no heap events at all.
+
+        Only entered once :meth:`_batchable` holds, which is permanent
+        (jobs never un-finish), so the clock can be advanced directly:
+        every side effect (LB database snapshots, telemetry commits, the
+        power reading at finish) sees exactly the time the event engine
+        would have shown it.
+        """
+        sim = self.sim
+        core_ids = self.core_ids
+        cores = self.cores
+        while True:
+            self._iteration = iteration
+            self._iter_started = T
+            self._iter_core_wall = {cid: 0.0 for cid in core_ids}
+            if self._percore_dirty:
+                self._rebuild_percore()
+            sim.now = T
+            t = T  # barrier = last core's arrival (empty cores arrive at T)
+            for rank, cid in enumerate(core_ids):
+                keys = self._percore_keys[cid]
+                if not keys:
+                    continue
+                end = self._run_solo_core(
+                    cores[cid], cid, keys, self._percore_chares[cid],
+                    iteration, T, rank,
+                )
+                if end > t:
+                    t = end
+            sim.now = t
+            completed = self._barrier_bookkeeping(t)
+            if completed == self._total_iterations:
+                self._finish(t)
+                return
+            delay = self._comm_delay()
+            if self._lb_due(completed):
+                self._last_lb_completed = completed
+                t_lb = t + delay
+                sim.now = t_lb
+                T = t_lb + self._do_lb(completed)
+            else:
+                T = t + delay
+            iteration = completed
+
+    def _measure_imbalance(self) -> float:
+        # _iter_core_wall is pre-seeded each iteration with every core id
+        # in core_ids order, so values() folds in that exact order
+        walls = self._iter_core_wall.values()
+        mean = sum(walls) / len(walls)
+        if mean <= 0.0:
+            return 1.0
+        return max(walls) / mean
+
+    # ------------------------------------------------------------------
+    # load balancing / telemetry (same objects as the event path)
+    # ------------------------------------------------------------------
+    def _lb_step(self, next_iteration: int, t: float) -> None:
+        pause = self._do_lb(next_iteration)
+        self.sim.push(t + pause, _EV_BEGIN, self, next_iteration)
+
+    def _do_lb(self, next_iteration: int) -> float:
+        """One LB step at the current clock; returns the resume pause."""
+        view = self.db.build_view(self.mapping)
+        migrations = self.balancer.balance(view)
+        cost = apply_migrations(
+            migrations,
+            chares=self.chares,
+            mapping=self.mapping,
+            net=self.net,
+            node_of=self._node_of,
+            local_comm_factor=self.local_comm_factor,
+        )
+        self.migration_count += len(migrations)
+        self.migration_cost_s += cost
+        if migrations:
+            self._percore_dirty = True
+            self._comm_delay_cache = None
+        if self.telemetry is not None:
+            self._commit_telemetry_step(next_iteration, migrations, cost)
+        self.db.reset_window()
+        self.lb_step_count += 1
+        return self.policy.decision_overhead_s + cost
+
+    def _true_bg_cpu(self) -> Dict[int, float]:
+        bg: Dict[int, float] = {}
+        for cid in self.core_ids:
+            core = self.cores[cid]
+            core.sync()
+            bg[cid] = sum(
+                cpu
+                for owner, cpu in core.cpu_by_owner.items()
+                if owner != self.name
+            )
+        return bg
+
+    def _commit_telemetry_step(self, next_iteration, migrations, cost) -> None:
+        bg_now = self._true_bg_cpu()
+        bg_true = {
+            cid: bg_now[cid] - self._bg_window_base.get(cid, 0.0)
+            for cid in self.core_ids
+        }
+        self._bg_window_base = bg_now
+        self.telemetry.commit_step(
+            time=self.sim.now,
+            iteration=next_iteration,
+            bg_true=bg_true,
+            migration_cost_s=cost,
+            decision_overhead_s=self.policy.decision_overhead_s,
+        )
+        metrics = self.telemetry.metrics
+        metrics.counter("lb_steps").inc()
+        metrics.counter("migrations").inc(len(migrations))
+        metrics.counter("bytes_moved").inc(
+            sum(self.chares[m.chare].state_bytes for m in migrations)
+        )
+        metrics.counter("lb_overhead_sim_s").inc(
+            self.policy.decision_overhead_s + cost
+        )
+
+    def _record_final_metrics(self) -> None:
+        metrics = self.telemetry.metrics
+        for cid in self.core_ids:
+            core = self.cores[cid]
+            core.sync()
+            wall = core.busy_time + core.idle_time
+            metrics.gauge(f"core_utilization.{cid}").set(
+                core.busy_time / wall if wall > 0 else 0.0
+            )
+
+
+# ----------------------------------------------------------------------
+# scenario driver
+# ----------------------------------------------------------------------
+def run_scenario_fast(
+    scenario: Scenario, *, telemetry: Optional[Telemetry] = None
+):
+    """Execute ``scenario`` on the fast path (see module docstring).
+
+    Returns the same :class:`~repro.experiments.runner.ExperimentResult`
+    as :func:`~repro.experiments.runner.run_scenario`, bit-identical.
+
+    Raises
+    ------
+    FastpathUnsupported
+        If the scenario needs per-event artifacts (tracing, intervals).
+    """
+    from repro.experiments.runner import ExperimentResult
+
+    reason = fastpath_unsupported_reason(scenario)
+    if reason is not None:
+        raise FastpathUnsupported(reason)
+
+    sim = _FastSim()
+    cores: Dict[int, _FastCore] = {}
+    cores_per_node = scenario.cores_per_node
+    num_cores_total = scenario.num_nodes * cores_per_node
+
+    def get_core(cid: int) -> _FastCore:
+        core = cores.get(cid)
+        if core is None:
+            if not 0 <= cid < num_cores_total:
+                raise ValueError(f"core id {cid} outside the cluster")
+            core = _FastCore(sim, cid)
+            cores[cid] = core
+        return core
+
+    net = scenario.net or NetworkModel.native()
+
+    def build_job(model, core_ids, *, name, weight, balancer, policy,
+                  use_comm_graph, job_telemetry):
+        graph = None
+        if use_comm_graph:
+            graph = model.comm_graph(len(core_ids))
+            if graph is None:
+                raise ValueError(
+                    f"{type(model).__name__} does not provide a comm graph"
+                )
+        for cid in core_ids:
+            get_core(cid)
+        job = _FastJob(
+            sim,
+            cores,
+            list(core_ids),
+            name=name,
+            weight=weight,
+            net=net,
+            balancer=balancer,
+            policy=policy,
+            comm_bytes=model.comm_bytes(len(core_ids)),
+            comm_graph=graph,
+            local_comm_factor=0.25,
+            cores_per_node=cores_per_node,
+            telemetry=job_telemetry,
+        )
+        job.register(model.build_array(len(core_ids)), list(core_ids))
+        return job
+
+    app = build_job(
+        scenario.app,
+        list(scenario.app_core_ids),
+        name="app",
+        weight=1.0,
+        balancer=scenario.balancer,
+        policy=scenario.policy,
+        use_comm_graph=scenario.use_comm_graph,
+        job_telemetry=telemetry,
+    )
+    bg = None
+    if scenario.bg is not None:
+        bg = build_job(
+            scenario.bg.model,
+            list(scenario.bg.core_ids),
+            name="bg",
+            weight=scenario.bg.weight,
+            balancer=None,
+            policy=LBPolicy(),
+            use_comm_graph=False,
+            job_telemetry=None,
+        )
+
+    if bg is not None:
+        app.others.append(bg)
+        bg.others.append(app)
+
+    # the power meter reads every core of the application's nodes when the
+    # application finishes — register it as a reader so co-located cores
+    # stay on the exact replay path while the application is unfinished
+    app_node_ids = sorted({cid // cores_per_node for cid in scenario.app_core_ids})
+    for nid in app_node_ids:
+        for cid in range(nid * cores_per_node, (nid + 1) * cores_per_node):
+            core = cores.get(cid)
+            if core is not None:
+                core.readers.append(app)
+
+    power_model = PowerModel(cores_per_node=cores_per_node)
+
+    def reading_at_app_end(job) -> None:
+        # exact transcription of PowerMeter.reading over the app's nodes
+        now = sim.now
+        busy = 0.0
+        for nid in app_node_ids:
+            node_busy = 0.0
+            for cid in range(nid * cores_per_node, (nid + 1) * cores_per_node):
+                core = cores.get(cid)
+                if core is not None:
+                    core.accrue(now)
+                    node_busy += core.busy_time
+                # untouched cores contribute an exact 0.0
+            busy += node_busy
+        energy = (
+            power_model.energy(now, busy, len(app_node_ids)) if now > 0 else 0.0
+        )
+        job._energy_reading = EnergyReading(
+            time=now, energy_j=energy, busy_core_seconds=busy
+        )
+
+    app._energy_reading = None
+    app._on_finish.append(reading_at_app_end)
+
+    app.start(scenario.iterations)
+    if bg is not None:
+        bg.start(scenario.bg.iterations, at=scenario.bg.start)
+
+    with _profiler().phase("fastpath.run"):
+        sim.run()
+
+    if app.finished_at is None or (bg is not None and bg.finished_at is None):
+        raise RuntimeError(
+            "simulation drained before both jobs finished — "
+            "a scheduling deadlock would be a library bug"
+        )
+
+    return ExperimentResult(
+        scenario=scenario,
+        app=app.stats,
+        bg=bg.stats if bg is not None else None,
+        energy=app._energy_reading,
+        trace=TraceLog(enabled=False),
+        final_mapping=dict(app.mapping),
+    )

@@ -1,0 +1,216 @@
+"""Bit-exact parity between the event engine and the fast-path backend.
+
+The fast path (:mod:`repro.sim.fastpath`) is only allowed to exist
+because it is *indistinguishable* from the event engine on every result
+field — iteration times, migrations, migration costs, task CPU, energy,
+final mapping, audit records. These tests enforce that with exact
+``==`` comparisons (no tolerances): any float that differs in its last
+bit is a bug in the fast path, not an accuracy trade-off.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.runner import run_scenario
+from repro.experiments.sweep import build_scenario, run_point, run_sweep
+from repro.experiments.sweep_presets import smoke_spec
+from repro.sim.fastpath import FastpathUnsupported, fastpath_unsupported_reason
+from repro.telemetry import Telemetry
+
+
+def _run_both(params, telemetry=False):
+    """Run one param dict on both backends; return the two results."""
+    tel_e = Telemetry() if telemetry else None
+    tel_f = Telemetry() if telemetry else None
+    res_e = run_scenario(build_scenario(params), backend="events", telemetry=tel_e)
+    res_f = run_scenario(build_scenario(params), backend="fast", telemetry=tel_f)
+    return res_e, res_f, tel_e, tel_f
+
+
+def _assert_results_identical(res_e, res_f):
+    """Field-by-field exact equality of two ExperimentResults."""
+    assert res_e.app == res_f.app  # RunStats incl. iteration_times tuple
+    assert res_e.bg == res_f.bg
+    assert res_e.energy == res_f.energy
+    assert res_e.final_mapping == res_f.final_mapping
+    assert res_e.app_time == res_f.app_time
+    assert res_e.bg_time == res_f.bg_time
+
+
+class TestPresetParity:
+    @pytest.mark.parametrize(
+        "point", smoke_spec().expand(), ids=lambda p: p.label
+    )
+    def test_smoke_points_bit_identical(self, point):
+        res_e, res_f, _, _ = _run_both(point.params)
+        _assert_results_identical(res_e, res_f)
+
+    @pytest.mark.parametrize("balancer", ["none", "refine", "greedy", "greedy-aware"])
+    def test_other_balancers(self, balancer):
+        params = {
+            "app": "jacobi2d",
+            "scale": 0.05,
+            "iterations": 8,
+            "cores": 4,
+            "bg": True,
+            "balancer": balancer,
+        }
+        res_e, res_f, _, _ = _run_both(params)
+        _assert_results_identical(res_e, res_f)
+
+    @pytest.mark.parametrize("app", ["wave2d", "mol3d"])
+    def test_other_apps(self, app):
+        params = {
+            "app": app,
+            "scale": 0.05,
+            "iterations": 6,
+            "cores": 4,
+            "bg": True,
+            "balancer": "refine-vm",
+        }
+        res_e, res_f, _, _ = _run_both(params)
+        _assert_results_identical(res_e, res_f)
+
+    def test_more_chares_than_fit_one_core_each(self):
+        # tiny app on many cores: some cores get no chares at all
+        params = {
+            "app": "jacobi2d",
+            "scale": 0.02,
+            "iterations": 5,
+            "cores": 8,
+            "bg": False,
+            "balancer": "refine-vm",
+        }
+        res_e, res_f, _, _ = _run_both(params)
+        _assert_results_identical(res_e, res_f)
+
+    def test_bg_weight_override(self):
+        params = {
+            "app": "jacobi2d",
+            "scale": 0.05,
+            "iterations": 8,
+            "cores": 4,
+            "bg": True,
+            "bg_weight": 0.5,
+            "balancer": "refine-vm",
+        }
+        res_e, res_f, _, _ = _run_both(params)
+        _assert_results_identical(res_e, res_f)
+
+    def test_point_and_sweep_summaries_match(self):
+        spec = smoke_spec()
+        for p in spec.expand():
+            assert run_point(p.params, backend="events") == run_point(
+                p.params, backend="fast"
+            )
+        se = run_sweep(spec, workers=1, cache=None, backend="events")
+        sf = run_sweep(spec, workers=1, cache=None, backend="fast")
+        sa = run_sweep(spec, workers=1, cache=None, backend="auto")
+        assert se.summaries() == sf.summaries() == sa.summaries()
+
+
+class TestTelemetryParity:
+    def test_audit_records_identical(self):
+        params = {
+            "app": "jacobi2d",
+            "scale": 0.05,
+            "iterations": 10,
+            "cores": 4,
+            "bg": True,
+            "balancer": "refine-vm",
+        }
+        res_e, res_f, tel_e, tel_f = _run_both(params, telemetry=True)
+        _assert_results_identical(res_e, res_f)
+        assert len(tel_e.audit.records) > 0
+        assert tel_e.audit.records == tel_f.audit.records
+
+    def test_telemetry_does_not_change_results(self):
+        params = {
+            "app": "jacobi2d",
+            "scale": 0.05,
+            "iterations": 8,
+            "cores": 4,
+            "bg": True,
+            "balancer": "refine-vm",
+        }
+        bare = run_scenario(build_scenario(params), backend="fast")
+        instrumented = run_scenario(
+            build_scenario(params), backend="fast", telemetry=Telemetry()
+        )
+        _assert_results_identical(bare, instrumented)
+
+
+class TestBackendSelection:
+    def test_unknown_backend_rejected(self):
+        params = {"app": "jacobi2d", "scale": 0.05, "iterations": 2, "cores": 4}
+        with pytest.raises(ValueError, match="backend"):
+            run_scenario(build_scenario(params), backend="nope")
+        with pytest.raises(ValueError, match="backend"):
+            run_point(params, backend="nope")
+        with pytest.raises(ValueError, match="backend"):
+            run_sweep(smoke_spec(), workers=1, cache=None, backend="nope")
+
+    def test_tracing_scenario_unsupported(self):
+        import dataclasses
+
+        sc = build_scenario(
+            {"app": "jacobi2d", "scale": 0.05, "iterations": 2, "cores": 4}
+        )
+        traced = dataclasses.replace(sc, tracing=True)
+        assert fastpath_unsupported_reason(traced) is not None
+        with pytest.raises(FastpathUnsupported):
+            run_scenario(traced, backend="fast")
+        # auto silently falls back to the event engine
+        res = run_scenario(traced, backend="auto")
+        assert res.app.finished_at > 0.0
+
+    def test_record_intervals_scenario_unsupported(self):
+        import dataclasses
+
+        sc = build_scenario(
+            {"app": "jacobi2d", "scale": 0.05, "iterations": 2, "cores": 4}
+        )
+        recorded = dataclasses.replace(sc, record_intervals=True)
+        assert fastpath_unsupported_reason(recorded) is not None
+        with pytest.raises(FastpathUnsupported):
+            run_scenario(recorded, backend="fast")
+
+    def test_supported_scenario_has_no_reason(self):
+        sc = build_scenario(
+            {"app": "jacobi2d", "scale": 0.05, "iterations": 2, "cores": 4}
+        )
+        assert fastpath_unsupported_reason(sc) is None
+
+
+# ----------------------------------------------------------------------
+# Hypothesis: random scenarios, exact equality on every field
+# ----------------------------------------------------------------------
+_scenario_params = st.fixed_dictionaries(
+    {
+        "app": st.sampled_from(["jacobi2d", "wave2d", "mol3d"]),
+        "scale": st.sampled_from([0.02, 0.05, 0.08]),
+        "iterations": st.integers(min_value=1, max_value=12),
+        "cores": st.sampled_from([2, 4, 6, 8]),
+        "balancer": st.sampled_from(
+            ["none", "refine-vm", "refine", "greedy", "greedy-aware"]
+        ),
+        "bg": st.booleans(),
+        "lb_period": st.sampled_from([2, 5, 10]),
+        "epsilon": st.sampled_from([0.02, 0.05, 0.1]),
+        "seed": st.integers(min_value=0, max_value=2**31 - 1),
+    }
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(params=_scenario_params)
+def test_random_scenarios_bit_identical(params):
+    res_e, res_f, _, _ = _run_both(params)
+    _assert_results_identical(res_e, res_f)
+    # exact float equality, element by element (tuple == above already
+    # implies it, but make NaN-freedom explicit)
+    for a, b in zip(res_e.app.iteration_times, res_f.app.iteration_times):
+        assert a == b and not math.isnan(a)

@@ -110,6 +110,15 @@ class TestFig2AndFig4:
         assert len(rows) == 1
         assert rows[0].meets_claim  # >= 5% reduction in both metrics
 
+    def test_headline_zero_baseline_does_not_crash(self):
+        # tiny --scale runs can round the noLB penalty to exactly zero;
+        # the reduction is then 0% (nothing to reduce), never a crash
+        from repro.experiments.figures import _reduction_percent
+
+        assert _reduction_percent(0.0, 0.0) == 0.0
+        assert _reduction_percent(3.0, 0.0) == 0.0
+        assert _reduction_percent(5.0, 10.0) == 50.0
+
 
 class TestFig3:
     @pytest.fixture(scope="class")

@@ -125,3 +125,72 @@ def test_run_is_not_reentrant():
 
     eng.schedule_after(1.0, nested)
     eng.run()
+
+
+# ----------------------------------------------------------------------
+# hot-path mechanics: __slots__ handles, lazy deletion, heap compaction
+# ----------------------------------------------------------------------
+def test_event_handle_has_slots():
+    eng = SimulationEngine()
+    h = eng.schedule_after(1.0, lambda: None)
+    assert not hasattr(h, "__dict__")
+    with pytest.raises(AttributeError):
+        h.arbitrary_attribute = 1
+
+
+def test_heap_compaction_drops_cancelled_events():
+    eng = SimulationEngine()
+    out = []
+    handles = [eng.schedule_after(float(i + 1), out.append, i) for i in range(200)]
+    for h in handles[:150]:  # cancelled majority triggers compaction
+        eng.cancel(h)
+    assert eng.pending == 50
+    assert len(eng._heap) < 200  # dead events physically removed
+    eng.run()
+    assert out == list(range(150, 200))
+    assert eng.events_cancelled == 150
+
+
+def test_compaction_below_min_heap_is_lazy():
+    eng = SimulationEngine()
+    handles = [eng.schedule_after(float(i + 1), lambda: None) for i in range(10)]
+    for h in handles:
+        eng.cancel(h)
+    # too small to compact: lazy deletion keeps them until popped
+    assert len(eng._heap) == 10
+    assert eng.pending == 0
+    eng.run()
+    assert len(eng._heap) == 0
+
+
+def test_compaction_mid_run_keeps_draining():
+    # regression: compaction must edit the heap list in place, because
+    # run() iterates a local alias to it
+    eng = SimulationEngine()
+    out = []
+
+    def burst():
+        handles = [
+            eng.schedule_after(float(i + 100), out.append, -1) for i in range(200)
+        ]
+        for h in handles:
+            eng.cancel(h)
+        eng.schedule_after(1.0, out.append, "after")
+
+    eng.schedule_after(1.0, burst)
+    eng.run()
+    assert out == ["after"]
+
+
+def test_compaction_preserves_fifo_order():
+    eng = SimulationEngine()
+    out = []
+    keep = []
+    cancel = []
+    for i in range(100):
+        keep.append(eng.schedule_at(5.0, out.append, i))
+        cancel.append(eng.schedule_at(5.0, out.append, -1))
+    for h in cancel:
+        eng.cancel(h)
+    eng.run()
+    assert out == list(range(100))
