@@ -1,0 +1,54 @@
+"""Distributed sweep fabric: sharded coordinator/worker execution.
+
+The fabric turns a parameter sweep into a fleet job: the sweep is
+partitioned into deterministic shards (:mod:`.shards`), published to a
+shared job directory (:mod:`.transport` — plain files, so it spans
+processes and shared-filesystem hosts alike), executed by worker
+processes (:mod:`.worker`) under heartbeat-refreshed leases, and
+aggregated by the coordinator (:mod:`.coordinator`) into the same
+``SweepResult`` the local pool produces — bit-identical summaries,
+whatever fails along the way. :mod:`.faults` injects deterministic
+worker failures so the recovery paths run in CI.
+"""
+
+from repro.experiments.fabric.coordinator import (
+    FabricIncomplete,
+    default_fabric_dir,
+    run_fabric_sweep,
+)
+from repro.experiments.fabric.faults import (
+    FAULT_KINDS,
+    FaultInjector,
+    FaultSpec,
+    parse_fault,
+    seeded_fault_plan,
+)
+from repro.experiments.fabric.shards import (
+    Shard,
+    default_shard_count,
+    plan_shards,
+)
+from repro.experiments.fabric.transport import (
+    JOB_SCHEMA,
+    EventTailer,
+    FileTransport,
+)
+from repro.experiments.fabric.worker import worker_main
+
+__all__ = [
+    "FAULT_KINDS",
+    "JOB_SCHEMA",
+    "EventTailer",
+    "FabricIncomplete",
+    "FaultInjector",
+    "FaultSpec",
+    "FileTransport",
+    "Shard",
+    "default_fabric_dir",
+    "default_shard_count",
+    "parse_fault",
+    "plan_shards",
+    "run_fabric_sweep",
+    "seeded_fault_plan",
+    "worker_main",
+]

@@ -1,0 +1,179 @@
+"""Deterministic fault injection for the sweep fabric.
+
+The fabric's recovery paths — lease expiry, work stealing, duplicate
+shard delivery, coordinator resume — are only trustworthy if they run
+in CI, not just in prose. This module gives the worker a seeded,
+declarative way to misbehave at an exact point in its execution:
+
+* ``kill`` — ``os._exit(137)`` (no cleanup, no lease release: exactly
+  what a SIGKILL or an evicted cloud instance looks like to the rest of
+  the fabric) after completing ``point_offset`` points of the worker's
+  ``shard_ordinal``-th claimed shard;
+* ``hang`` — stop heartbeating and idle at the same boundary, so the
+  shard's lease goes stale and another worker steals it;
+* ``dup`` — after submitting the ``shard_ordinal``-th shard, re-execute
+  and re-submit it, exercising idempotency (the re-run is a pure cache
+  hit and the result file rewrite is byte-identical).
+
+Fault specs are plain data (``kind:worker:shard_ordinal[:point_offset]``
+strings, JSON dicts in ``job.json``), so a fault plan travels with the
+job and every worker deterministically knows its own misfortune.
+:func:`seeded_fault_plan` derives a plan from a seed for randomized
+soak runs; the same seed always yields the same plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.util import derive_seed, resolve_rng
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultSpec",
+    "parse_fault",
+    "seeded_fault_plan",
+    "FaultInjector",
+]
+
+FAULT_KINDS = ("kill", "hang", "dup")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injected failure, pinned to a worker and a shard boundary.
+
+    ``point_offset`` counts completed points within the triggering
+    shard: 0 fires at the shard's start (a clean shard-boundary fault),
+    any larger value fires mid-shard after that many points. ``dup``
+    ignores the offset — it always fires after the shard is submitted.
+    """
+
+    kind: str
+    worker: str
+    shard_ordinal: int
+    point_offset: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; known: {FAULT_KINDS}"
+            )
+        if self.shard_ordinal < 0:
+            raise ValueError("shard_ordinal must be >= 0")
+        if self.point_offset < 0:
+            raise ValueError("point_offset must be >= 0")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "worker": self.worker,
+            "shard_ordinal": self.shard_ordinal,
+            "point_offset": self.point_offset,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultSpec":
+        return cls(
+            kind=str(data["kind"]),
+            worker=str(data["worker"]),
+            shard_ordinal=int(data["shard_ordinal"]),
+            point_offset=int(data.get("point_offset", 0)),
+        )
+
+
+def parse_fault(text: str) -> FaultSpec:
+    """Parse a ``kind:worker:shard_ordinal[:point_offset]`` CLI spec."""
+    parts = text.split(":")
+    if len(parts) not in (3, 4):
+        raise ValueError(
+            f"bad fault spec {text!r}; expected "
+            "kind:worker:shard_ordinal[:point_offset]"
+        )
+    try:
+        ordinal = int(parts[2])
+        offset = int(parts[3]) if len(parts) == 4 else 0
+    except ValueError as exc:
+        raise ValueError(f"bad fault spec {text!r}: {exc}") from exc
+    return FaultSpec(
+        kind=parts[0], worker=parts[1], shard_ordinal=ordinal,
+        point_offset=offset,
+    )
+
+
+def seeded_fault_plan(
+    seed: int,
+    worker_ids: Sequence[str],
+    *,
+    shard_size: int = 1,
+    kinds: Sequence[str] = FAULT_KINDS,
+) -> Tuple[FaultSpec, ...]:
+    """One deterministic fault derived from ``seed``.
+
+    The victim worker, fault kind, shard ordinal (0 or 1) and mid-shard
+    offset are all drawn from a :func:`~repro.util.derive_seed`-keyed
+    RNG, so a soak harness can sweep seeds and replay any failure it
+    finds bit-for-bit.
+    """
+    if not worker_ids:
+        return ()
+    for kind in kinds:
+        if kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {kind!r}")
+    rng = resolve_rng(derive_seed(seed, "fabric-fault-plan"))
+    kind = kinds[int(rng.integers(len(kinds)))]
+    worker = worker_ids[int(rng.integers(len(worker_ids)))]
+    ordinal = int(rng.integers(2))
+    offset = int(rng.integers(max(1, shard_size))) if kind != "dup" else 0
+    return (
+        FaultSpec(
+            kind=kind, worker=worker, shard_ordinal=ordinal,
+            point_offset=offset,
+        ),
+    )
+
+
+class FaultInjector:
+    """The worker-side trigger: folds a fault plan into boundary checks.
+
+    The worker calls :meth:`at_boundary` at every shard start and after
+    every completed point, and :meth:`duplicate_after_submit` once per
+    submitted shard; each fault fires at most once.
+    """
+
+    def __init__(self, faults: Sequence[FaultSpec], worker_id: str) -> None:
+        self._pending: List[FaultSpec] = [
+            f for f in faults if f.worker == worker_id
+        ]
+
+    @classmethod
+    def from_dicts(
+        cls, faults: Optional[Sequence[Mapping[str, Any]]], worker_id: str
+    ) -> "FaultInjector":
+        return cls(
+            tuple(FaultSpec.from_dict(f) for f in (faults or ())), worker_id
+        )
+
+    def _take(self, kinds: Tuple[str, ...], ordinal: int, offset: Optional[int]) -> Optional[FaultSpec]:
+        for fault in self._pending:
+            if fault.kind not in kinds or fault.shard_ordinal != ordinal:
+                continue
+            if offset is not None and fault.point_offset != offset:
+                continue
+            self._pending.remove(fault)
+            return fault
+        return None
+
+    def at_boundary(self, shard_ordinal: int, completed_points: int) -> Optional[str]:
+        """``"kill"``/``"hang"`` if a fault fires here, else None.
+
+        The *caller* performs the exit/idle — keeping the process
+        mechanics in the worker makes this class trivially testable.
+        """
+        fault = self._take(("kill", "hang"), shard_ordinal, completed_points)
+        return fault.kind if fault is not None else None
+
+    def duplicate_after_submit(self, shard_ordinal: int) -> bool:
+        """True if the just-submitted shard must be re-run and re-sent."""
+        return self._take(("dup",), shard_ordinal, None) is not None

@@ -1,0 +1,98 @@
+"""Deterministic shard planning for distributed sweeps.
+
+A *shard* is the unit of distribution: an ordered slice of a sweep's
+expanded point indices that one worker executes as a whole before
+reporting back. Shards — not points — are what gets queued, leased,
+heartbeated, stolen and resubmitted, so the partitioning must be a pure
+function of ``(point indices, shard count)``:
+
+* **exactly once** — concatenating the shards in id order reproduces
+  the input index sequence exactly (no point dropped or duplicated);
+* **balanced** — shard sizes differ by at most one point;
+* **stable** — the *set* of covered points is invariant under the
+  shard count, so re-planning a resumed job with a different worker
+  fleet can never change what gets computed, only how it is grouped.
+
+This module is deliberately free of sweep/engine imports (it is shared
+by the sweep engine and the fabric coordinator/worker, which sit on
+opposite sides of the process boundary), so everything here is plain
+data: indices in, :class:`Shard` tuples out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+__all__ = ["Shard", "plan_shards", "default_shard_count"]
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One distributable slice of a sweep.
+
+    Attributes
+    ----------
+    index:
+        Position of this shard in the plan (0-based).
+    shard_id:
+        Stable identifier used for queue/lease/result filenames
+        (lexicographic order == plan order).
+    point_indices:
+        The sweep-point indices this shard executes, in sweep order.
+    """
+
+    index: int
+    shard_id: str
+    point_indices: Tuple[int, ...]
+
+    def __len__(self) -> int:
+        return len(self.point_indices)
+
+
+def default_shard_count(num_points: int, workers: int) -> int:
+    """Shards to plan for ``num_points`` across ``workers`` processes.
+
+    Four shards per worker keeps the work-stealing granularity fine
+    enough that a dead worker forfeits at most ~25% of its fair share,
+    without drowning the transport in per-point files. With no managed
+    workers (external-worker mode) the plan falls back to eight shards.
+    """
+    if num_points <= 0:
+        return 0
+    target = workers * 4 if workers > 0 else 8
+    return max(1, min(num_points, target))
+
+
+def plan_shards(
+    point_indices: Sequence[int], num_shards: int
+) -> Tuple[Shard, ...]:
+    """Partition ``point_indices`` into at most ``num_shards`` shards.
+
+    Contiguous balanced blocks: with ``n`` points and ``k`` shards the
+    first ``n % k`` shards carry ``n // k + 1`` points and the rest
+    ``n // k`` — never an empty shard, and asking for more shards than
+    points simply yields one shard per point.
+    """
+    indices = [int(i) for i in point_indices]
+    if len(set(indices)) != len(indices):
+        raise ValueError("point indices must be unique")
+    if not indices:
+        return ()
+    if num_shards < 1:
+        raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+    k = min(num_shards, len(indices))
+    base, extra = divmod(len(indices), k)
+    shards: List[Shard] = []
+    start = 0
+    for s in range(k):
+        size = base + (1 if s < extra else 0)
+        shards.append(
+            Shard(
+                index=s,
+                shard_id=f"s{s:04d}",
+                point_indices=tuple(indices[start : start + size]),
+            )
+        )
+        start += size
+    return tuple(shards)

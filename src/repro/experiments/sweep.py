@@ -82,6 +82,7 @@ from repro.experiments.cache import (
     code_fingerprint,
     point_key,
 )
+from repro.experiments.fabric.shards import default_shard_count, plan_shards
 from repro.experiments.progress import EventLog, SweepMetrics
 from repro.experiments.runner import ExperimentResult, run_scenario
 from repro.experiments.scenario import BackgroundSpec, Scenario
@@ -101,6 +102,7 @@ __all__ = [
     "summarize_result",
     "run_point",
     "run_point_audited",
+    "run_shard",
     "SweepPoint",
     "SweepSpec",
     "PointResult",
@@ -408,17 +410,6 @@ def run_point_audited(
     )
 
 
-def _execute_point(
-    payload: Tuple[int, Dict[str, Any], str],
-) -> Tuple[int, Dict[str, Any], float, str]:
-    """Worker entry point: run one point, timing it (picklable, top-level)."""
-    index, params, backend = payload
-    t0 = time.perf_counter()
-    summary = run_point(params, backend=backend)
-    wall = time.perf_counter() - t0
-    return index, summary.to_dict(), wall, f"pid:{os.getpid()}"
-
-
 def _execute_point_audited(
     payload: Tuple[int, Dict[str, Any], str],
 ) -> Tuple[int, Dict[str, Any], List[Dict[str, Any]], TraceLog, Dict[str, Any], float, str]:
@@ -428,6 +419,40 @@ def _execute_point_audited(
     summary, records, trace, profile = run_point_audited(params, backend=backend)
     wall = time.perf_counter() - t0
     return index, summary.to_dict(), records, trace, profile, wall, f"pid:{os.getpid()}"
+
+
+def run_shard(
+    shard_points: Sequence[Tuple[int, Dict[str, Any]]],
+    *,
+    backend: str = "auto",
+    worker: Optional[str] = None,
+):
+    """Execute an ordered shard of ``(index, params)`` pairs lazily.
+
+    This generator is the single execution core every sweep driver runs
+    on: the in-process serial path, the local process pool
+    (:func:`_execute_shard`) and the distributed fabric worker
+    (:mod:`repro.experiments.fabric.worker`) all feed it the same pairs
+    and consume the same ``(index, summary_dict, wall_s, worker_tag)``
+    tuples — which is why their summaries are bit-identical by
+    construction. Each point is simulated when its tuple is pulled, so
+    callers can interleave progress events, cache writes and fault
+    boundaries between points. ``worker`` overrides the default
+    ``pid:<n>`` provenance tag.
+    """
+    tag = worker if worker is not None else f"pid:{os.getpid()}"
+    for index, params in shard_points:
+        t0 = time.perf_counter()
+        summary = run_point(params, backend=backend)
+        yield index, summary.to_dict(), time.perf_counter() - t0, tag
+
+
+def _execute_shard(
+    payload: Tuple[List[Tuple[int, Dict[str, Any]]], str],
+) -> List[Tuple[int, Dict[str, Any], float, str]]:
+    """Pool entry point: drain one shard through :func:`run_shard`."""
+    shard_points, backend = payload
+    return list(run_shard(shard_points, backend=backend))
 
 
 # ---------------------------------------------------------------------------
@@ -631,6 +656,9 @@ def run_sweep(
     audit_dir: Optional[Union[str, Path]] = None,
     registry: Optional["RunRegistry"] = None,
     backend: str = "auto",
+    driver: str = "local",
+    fabric_dir: Optional[Union[str, Path]] = None,
+    fabric_options: Optional[Dict[str, Any]] = None,
 ) -> SweepResult:
     """Execute every point of ``spec``; returns ordered results + metrics.
 
@@ -668,7 +696,45 @@ def run_sweep(
         and therefore hits — are backend-independent. Audited points
         (``audit_dir``) require per-task tracing and always run on the
         event engine under ``"auto"``.
+    driver:
+        ``"local"`` (default) executes here — in-process or via a
+        process pool; ``"fabric"`` delegates to the distributed
+        coordinator (:func:`repro.experiments.fabric.run_fabric_sweep`),
+        which runs the same shard core across worker processes with
+        crash recovery and resume. Both drivers produce bit-identical
+        summaries for the same spec.
+    fabric_dir:
+        Job directory for the fabric driver (defaults to
+        ``.repro-fabric/<spec name>``); re-running on a directory with
+        partial results resumes it.
+    fabric_options:
+        Extra keyword arguments forwarded verbatim to
+        :func:`~repro.experiments.fabric.run_fabric_sweep`
+        (``num_shards``, ``faults``, ``lease_timeout_s``, ...).
     """
+    if driver not in ("local", "fabric"):
+        raise ValueError(f"unknown driver {driver!r}")
+    if driver == "fabric":
+        if audit_dir is not None:
+            raise ValueError(
+                "audit_dir requires driver='local': audit trails carry "
+                "per-task tracing payloads that do not travel through "
+                "shard result files"
+            )
+        from repro.experiments.fabric.coordinator import run_fabric_sweep
+
+        return run_fabric_sweep(
+            spec,
+            fabric_dir=Path(fabric_dir) if fabric_dir is not None else None,
+            workers=workers,
+            cache=cache,
+            log=log,
+            registry=registry,
+            backend=backend,
+            **(fabric_options or {}),
+        )
+    if fabric_dir is not None or fabric_options is not None:
+        raise ValueError("fabric_dir/fabric_options require driver='fabric'")
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
     if backend not in ("auto", "events", "fast"):
@@ -785,11 +851,12 @@ def run_sweep(
             worker=worker,
         )
 
+    by_index = {p.index: p for p in misses}
     if misses and workers == 1:
-        for p in misses:
-            log.emit("point_start", label=p.label, key=keys[p.index])
-            t0 = time.perf_counter()
-            if audit_path is not None:
+        if audit_path is not None:
+            for p in misses:
+                log.emit("point_start", label=p.label, key=keys[p.index])
+                t0 = time.perf_counter()
                 summary, records, trace, profile = run_point_audited(
                     p.params, backend=backend
                 )
@@ -797,42 +864,73 @@ def run_sweep(
                     p, summary, time.perf_counter() - t0, "main",
                     records=records, trace=trace, profile=profile,
                 )
-            else:
-                summary = run_point(p.params, backend=backend)
-                finish(p, summary, time.perf_counter() - t0, "main")
-    elif misses:
-        by_index = {p.index: p for p in misses}
+        else:
+            # one lazy shard: each next() simulates one point, so the
+            # point_start / point_done interleaving is unchanged
+            results = run_shard(
+                [(p.index, p.params) for p in misses],
+                backend=backend,
+                worker="main",
+            )
+            for p in misses:
+                log.emit("point_start", label=p.label, key=keys[p.index])
+                index, summary_dict, wall, worker = next(results)
+                finish(
+                    by_index[index],
+                    ScenarioSummary.from_dict(summary_dict),
+                    wall,
+                    worker,
+                )
+    elif misses and audit_path is not None:
+        # audited pool path: per-point tasks (audit payloads are heavy
+        # enough that shard-granular batching buys nothing)
         with ProcessPoolExecutor(max_workers=min(workers, len(misses))) as pool:
             futures = {}
             for p in misses:
                 log.emit("point_start", label=p.label, key=keys[p.index])
                 task = (p.index, p.params, backend)
-                fut = (
-                    pool.submit(_execute_point_audited, task)
-                    if audit_path is not None
-                    else pool.submit(_execute_point, task)
-                )
-                futures[fut] = p.index
+                futures[pool.submit(_execute_point_audited, task)] = p.index
             pending = set(futures)
             while pending:
                 done, pending = wait(pending, return_when=FIRST_COMPLETED)
                 for fut in done:
-                    if audit_path is not None:
-                        (
-                            index, summary_dict, records, trace, profile,
-                            wall, worker,
-                        ) = fut.result()
-                        finish(
-                            by_index[index],
-                            ScenarioSummary.from_dict(summary_dict),
-                            wall,
-                            worker,
-                            records=records,
-                            trace=trace,
-                            profile=profile,
-                        )
-                    else:
-                        index, summary_dict, wall, worker = fut.result()
+                    (
+                        index, summary_dict, records, trace, profile,
+                        wall, worker,
+                    ) = fut.result()
+                    finish(
+                        by_index[index],
+                        ScenarioSummary.from_dict(summary_dict),
+                        wall,
+                        worker,
+                        records=records,
+                        trace=trace,
+                        profile=profile,
+                    )
+    elif misses:
+        # the local pool is a fabric in miniature: the same shard plan
+        # the distributed coordinator publishes, executed by pool
+        # processes through the same run_shard core
+        shards = plan_shards(
+            [p.index for p in misses],
+            default_shard_count(len(misses), workers),
+        )
+        with ProcessPoolExecutor(max_workers=min(workers, len(shards))) as pool:
+            futures = {}
+            for shard in shards:
+                for index in shard.point_indices:
+                    p = by_index[index]
+                    log.emit("point_start", label=p.label, key=keys[p.index])
+                task = (
+                    [(i, by_index[i].params) for i in shard.point_indices],
+                    backend,
+                )
+                futures[pool.submit(_execute_shard, task)] = shard.shard_id
+            pending = set(futures)
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for fut in done:
+                    for index, summary_dict, wall, worker in fut.result():
                         finish(
                             by_index[index],
                             ScenarioSummary.from_dict(summary_dict),

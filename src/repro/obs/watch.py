@@ -67,6 +67,8 @@ class WatchRenderer:
         self.count_by_worker: Dict[str, int] = {}
         self.recent: List[str] = []  # most recent completions, newest last
         self.walls: List[float] = []  # executed per-point wall times
+        self.walls_by_worker: Dict[str, List[float]] = {}
+        self._done_ids: set = set()  # completion dedup (at-least-once)
         self.last_t: float = 0.0
         self.final_metrics: Optional[Dict[str, Any]] = None
         self.run_id: Optional[str] = None
@@ -91,15 +93,27 @@ class WatchRenderer:
             label = str(event.get("label", "?"))
             if label in self.in_flight:
                 self.in_flight.remove(label)
-            self.done += 1
+            # distributed sweeps are at-least-once: a point completed by
+            # a worker that then died is re-delivered by the shard's
+            # next owner, so progress counts unique points while the
+            # per-worker stats below keep counting actual executions
+            point_id = str(event.get("key") or label)
+            first_completion = point_id not in self._done_ids
+            self._done_ids.add(point_id)
+            if first_completion:
+                self.done += 1
             worker = str(event.get("worker", "?"))
             if event.get("cached"):
-                self.cached += 1
+                if first_completion:
+                    self.cached += 1
             else:
                 self.executed += 1
                 wall = event.get("wall_s")
                 if isinstance(wall, (int, float)):
                     self.walls.append(float(wall))
+                    self.walls_by_worker.setdefault(worker, []).append(
+                        float(wall)
+                    )
                 self.last_by_worker[worker] = label
                 self.count_by_worker[worker] = (
                     self.count_by_worker.get(worker, 0) + 1
@@ -135,6 +149,22 @@ class WatchRenderer:
             return None
         return self.done / self.last_t
 
+    def worker_throughput(self) -> Dict[str, float]:
+        """Executed points per busy-second, per worker.
+
+        Derived purely from ``point_done`` wall times, so it is exact
+        for interleaved multi-worker streams (fabric workers append to
+        separate files that are merged by emission time — per-worker
+        busy time is unaffected by the interleaving). Workers with no
+        positive wall time yet are omitted.
+        """
+        rates: Dict[str, float] = {}
+        for worker, walls in self.walls_by_worker.items():
+            busy = sum(walls)
+            if busy > 0:
+                rates[worker] = len(walls) / busy
+        return rates
+
     def eta_s(self) -> Optional[float]:
         """Estimated seconds to finish the remaining points."""
         remaining = self.total - self.done
@@ -166,11 +196,15 @@ class WatchRenderer:
         )
         if self.in_flight:
             lines.append("  running: " + ", ".join(self.in_flight[:4]))
+        rates = self.worker_throughput()
         for worker in sorted(self.last_by_worker):
-            lines.append(
+            line = (
                 f"  {worker}: {self.count_by_worker.get(worker, 0)} done, "
                 f"last {self.last_by_worker[worker]}"
             )
+            if worker in rates:
+                line += f" ({rates[worker]:.2f}/s)"
+            lines.append(line)
         if self.recent:
             lines.append("  recent: " + "; ".join(self.recent[-3:]))
         if self.final_metrics is not None:
@@ -217,6 +251,7 @@ def watch_file(
     follow: bool = False,
     interval: float = 0.5,
     timeout_s: Optional[float] = None,
+    require_finished: bool = False,
 ) -> int:
     """Render a progress JSONL file; returns a CLI exit code.
 
@@ -224,6 +259,9 @@ def watch_file(
     printed. With ``follow`` the file is tailed (new lines rendered as
     they land) until a ``sweep_done`` event, EOF-after-timeout, or
     Ctrl-C. Malformed lines are skipped — a live writer may be mid-line.
+    ``require_finished`` (the CLI's ``--replay``) makes an incomplete
+    stream — no ``sweep_done`` — exit 1 instead of 0, so CI can assert
+    a recorded sweep actually ran to completion.
     """
     out = out if out is not None else sys.stdout
     p = Path(path)
@@ -266,6 +304,13 @@ def watch_file(
     except KeyboardInterrupt:  # pragma: no cover - interactive only
         pass
     paint()
+    if require_finished and not renderer.finished:
+        print(
+            f"repro watch: error: {p} has no sweep_done event "
+            f"({renderer.done} point(s) recorded) — the sweep did not finish",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

@@ -295,6 +295,23 @@ class TestRunSweep:
         assert "cache_hits=4 (100%)" in text
         assert "hit" in text
 
+    def test_zero_miss_parallel_sweep_never_builds_a_pool(
+        self, tmp_path, monkeypatch
+    ):
+        """A fully-cached sweep must not pay process-spawn cost."""
+        cache = ResultCache(tmp_path)
+        cold = run_sweep(tiny_spec(), cache=cache)
+
+        def explode(*args, **kwargs):  # pragma: no cover - failure path
+            raise AssertionError("zero-miss sweep built a process pool")
+
+        monkeypatch.setattr(
+            "repro.experiments.sweep.ProcessPoolExecutor", explode
+        )
+        warm = run_sweep(tiny_spec(), cache=cache, workers=4)
+        assert warm.metrics.cache_hits == 4
+        assert warm.summaries() == cold.summaries()
+
 
 class TestSummaryRoundTrip:
     def test_json_round_trip_is_exact(self):

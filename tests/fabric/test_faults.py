@@ -1,0 +1,134 @@
+"""The fault-injection layer: specs, parsing, seeded plans, triggers."""
+
+import pytest
+
+from repro.experiments.fabric.faults import (
+    FAULT_KINDS,
+    FaultInjector,
+    FaultSpec,
+    parse_fault,
+    seeded_fault_plan,
+)
+
+
+# ---------------------------------------------------------------------------
+# spec parsing / serialisation
+# ---------------------------------------------------------------------------
+
+
+def test_parse_full_spec():
+    assert parse_fault("kill:w0:1:2") == FaultSpec(
+        kind="kill", worker="w0", shard_ordinal=1, point_offset=2
+    )
+
+
+def test_parse_offset_defaults_to_zero():
+    assert parse_fault("hang:w3:0").point_offset == 0
+
+
+@pytest.mark.parametrize("kind", FAULT_KINDS)
+def test_dict_round_trip(kind):
+    spec = FaultSpec(kind=kind, worker="w1", shard_ordinal=2, point_offset=1)
+    assert FaultSpec.from_dict(spec.to_dict()) == spec
+
+
+@pytest.mark.parametrize(
+    "text",
+    [
+        "kill",                # too few fields
+        "kill:w0",             # still too few
+        "kill:w0:1:2:3",       # too many
+        "explode:w0:0",        # unknown kind
+        "kill:w0:x",           # non-integer ordinal
+        "kill:w0:-1",          # negative ordinal
+        "kill:w0:0:-2",        # negative offset
+    ],
+)
+def test_malformed_specs_rejected(text):
+    with pytest.raises(ValueError):
+        parse_fault(text)
+
+
+# ---------------------------------------------------------------------------
+# seeded plans
+# ---------------------------------------------------------------------------
+
+
+def test_seeded_plan_is_deterministic():
+    workers = ["w0", "w1", "w2"]
+    assert seeded_fault_plan(7, workers, shard_size=3) == seeded_fault_plan(
+        7, workers, shard_size=3
+    )
+
+
+def test_seeded_plan_varies_with_seed():
+    workers = ["w0", "w1", "w2"]
+    plans = {seeded_fault_plan(seed, workers, shard_size=4) for seed in range(20)}
+    assert len(plans) > 1
+
+
+def test_seeded_plan_yields_valid_spec():
+    workers = ["w0", "w1"]
+    for seed in range(10):
+        (fault,) = seeded_fault_plan(seed, workers, shard_size=2)
+        assert fault.kind in FAULT_KINDS
+        assert fault.worker in workers
+        assert 0 <= fault.shard_ordinal <= 1
+        assert 0 <= fault.point_offset < 2 or fault.kind == "dup"
+
+
+def test_seeded_plan_empty_for_no_workers():
+    assert seeded_fault_plan(0, []) == ()
+
+
+def test_seeded_plan_rejects_unknown_kinds():
+    with pytest.raises(ValueError, match="explode"):
+        seeded_fault_plan(0, ["w0"], kinds=("explode",))
+
+
+# ---------------------------------------------------------------------------
+# the injector
+# ---------------------------------------------------------------------------
+
+
+def test_injector_fires_only_for_own_worker():
+    fault = parse_fault("kill:w0:0:1")
+    assert FaultInjector([fault], "w1").at_boundary(0, 1) is None
+    assert FaultInjector([fault], "w0").at_boundary(0, 1) == "kill"
+
+
+def test_injector_fires_at_exact_boundary_only():
+    injector = FaultInjector([parse_fault("hang:w0:1:2")], "w0")
+    assert injector.at_boundary(0, 2) is None  # wrong shard
+    assert injector.at_boundary(1, 1) is None  # wrong offset
+    assert injector.at_boundary(1, 2) == "hang"
+
+
+def test_injector_fires_at_most_once():
+    injector = FaultInjector([parse_fault("kill:w0:0:0")], "w0")
+    assert injector.at_boundary(0, 0) == "kill"
+    assert injector.at_boundary(0, 0) is None
+
+
+def test_duplicate_trigger_ignores_offset_and_fires_once():
+    injector = FaultInjector([parse_fault("dup:w0:1")], "w0")
+    assert not injector.duplicate_after_submit(0)
+    assert injector.duplicate_after_submit(1)
+    assert not injector.duplicate_after_submit(1)
+
+
+def test_dup_never_fires_at_boundary_and_vice_versa():
+    injector = FaultInjector(
+        [parse_fault("dup:w0:0"), parse_fault("kill:w0:1:0")], "w0"
+    )
+    assert injector.at_boundary(0, 0) is None  # dup is not a boundary fault
+    assert not injector.duplicate_after_submit(1)  # kill is not a dup
+    assert injector.duplicate_after_submit(0)
+    assert injector.at_boundary(1, 0) == "kill"
+
+
+def test_injector_from_dicts_round_trip():
+    faults = [parse_fault("kill:w2:0:1").to_dict()]
+    injector = FaultInjector.from_dicts(faults, "w2")
+    assert injector.at_boundary(0, 1) == "kill"
+    assert FaultInjector.from_dicts(None, "w2").at_boundary(0, 1) is None

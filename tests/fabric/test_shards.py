@@ -1,0 +1,104 @@
+"""Property tests for the shard planner.
+
+The fabric's correctness reduces to the partitioning being a pure,
+exhaustive function of its inputs: every sweep point lands in exactly
+one shard, shard sizes never skew by more than one, and changing the
+shard count regroups — never changes — the covered set. Hypothesis
+drives those invariants over arbitrary index sequences and shard
+counts.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.fabric.shards import (
+    Shard,
+    default_shard_count,
+    plan_shards,
+)
+
+# unique, arbitrary-order point indices (sweep expansion yields 0..n-1,
+# but the planner must not rely on that)
+indices_strategy = st.lists(
+    st.integers(min_value=0, max_value=10_000), unique=True, max_size=200
+)
+shard_counts = st.integers(min_value=1, max_value=64)
+
+
+@given(indices=indices_strategy, num_shards=shard_counts)
+@settings(max_examples=200)
+def test_every_point_exactly_once(indices, num_shards):
+    """Concatenating the plan reproduces the input sequence exactly."""
+    shards = plan_shards(indices, num_shards)
+    flattened = [i for s in shards for i in s.point_indices]
+    assert flattened == indices
+
+
+@given(indices=indices_strategy, num_shards=shard_counts)
+@settings(max_examples=200)
+def test_shard_sizes_balanced_within_one(indices, num_shards):
+    shards = plan_shards(indices, num_shards)
+    if not indices:
+        assert shards == ()
+        return
+    sizes = [len(s) for s in shards]
+    assert min(sizes) >= 1
+    assert max(sizes) - min(sizes) <= 1
+    assert len(shards) == min(num_shards, len(indices))
+
+
+@given(indices=indices_strategy, a=shard_counts, b=shard_counts)
+@settings(max_examples=200)
+def test_covered_set_stable_under_shard_count_changes(indices, a, b):
+    """Re-planning with a different fleet never changes what runs."""
+    cover_a = {i for s in plan_shards(indices, a) for i in s.point_indices}
+    cover_b = {i for s in plan_shards(indices, b) for i in s.point_indices}
+    assert cover_a == cover_b == set(indices)
+
+
+@given(indices=indices_strategy, num_shards=shard_counts)
+@settings(max_examples=200)
+def test_shard_ids_unique_and_lexicographically_ordered(indices, num_shards):
+    """Lexicographic id order == plan order (the transport sorts by id)."""
+    shards = plan_shards(indices, num_shards)
+    ids = [s.shard_id for s in shards]
+    assert len(set(ids)) == len(ids)
+    assert ids == sorted(ids)
+    assert [s.index for s in shards] == list(range(len(shards)))
+
+
+@given(
+    num_points=st.integers(min_value=0, max_value=5000),
+    workers=st.integers(min_value=0, max_value=64),
+)
+def test_default_shard_count_is_plannable(num_points, workers):
+    count = default_shard_count(num_points, workers)
+    if num_points == 0:
+        assert count == 0
+    else:
+        assert 1 <= count <= num_points
+        # the resulting plan is always valid
+        assert len(plan_shards(range(num_points), count)) == count
+
+
+def test_plan_is_deterministic():
+    assert plan_shards(range(10), 3) == plan_shards(range(10), 3)
+
+
+def test_plan_shape_example():
+    shards = plan_shards([0, 1, 2, 3, 4], 2)
+    assert shards == (
+        Shard(index=0, shard_id="s0000", point_indices=(0, 1, 2)),
+        Shard(index=1, shard_id="s0001", point_indices=(3, 4)),
+    )
+
+
+def test_duplicate_indices_rejected():
+    with pytest.raises(ValueError, match="unique"):
+        plan_shards([1, 2, 1], 2)
+
+
+def test_nonpositive_shard_count_rejected():
+    with pytest.raises(ValueError, match="num_shards"):
+        plan_shards([1, 2], 0)

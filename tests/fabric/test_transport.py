@@ -1,0 +1,250 @@
+"""The file transport: job lifecycle, lease protocol, event tailing.
+
+Everything here runs in one process against a tmp directory — the
+protocol is just files, so the multi-process behaviour (tested in
+``test_fabric_integration``) reduces to these primitives.
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.experiments.fabric.transport import (
+    JOB_SCHEMA,
+    EventTailer,
+    FileTransport,
+)
+from repro.experiments.progress import PROGRESS_SCHEMA
+
+
+def _job(num_shards=2):
+    return {
+        "schema": JOB_SCHEMA,
+        "name": "t",
+        "shards": [
+            {"index": s, "shard_id": f"s{s:04d}", "point_indices": [s]}
+            for s in range(num_shards)
+        ],
+    }
+
+
+# ---------------------------------------------------------------------------
+# job lifecycle
+# ---------------------------------------------------------------------------
+
+
+def test_publish_then_read_round_trips_and_queues_shards(tmp_path):
+    t = FileTransport(tmp_path)
+    assert not t.has_job()
+    t.publish_job(_job(3))
+    assert t.has_job()
+    assert t.read_job()["name"] == "t"
+    assert t.queued_shard_ids() == ["s0000", "s0001", "s0002"]
+
+
+def test_publish_refuses_to_overwrite_a_job(tmp_path):
+    t = FileTransport(tmp_path)
+    t.publish_job(_job())
+    with pytest.raises(ValueError, match="already holds a job"):
+        t.publish_job(_job())
+
+
+def test_read_rejects_unsupported_schema(tmp_path):
+    t = FileTransport(tmp_path)
+    t.publish_job({**_job(), "schema": 999})
+    with pytest.raises(ValueError, match="unsupported job schema"):
+        t.read_job()
+
+
+def test_stop_flag_lifecycle(tmp_path):
+    t = FileTransport(tmp_path)
+    assert not t.stopped()
+    t.write_stop()
+    assert t.stopped()
+    t.clear_stop()
+    assert not t.stopped()
+    t.clear_stop()  # idempotent
+
+
+# ---------------------------------------------------------------------------
+# leases: claim, heartbeat, steal
+# ---------------------------------------------------------------------------
+
+
+def test_claim_is_exclusive_and_ordered(tmp_path):
+    t = FileTransport(tmp_path)
+    t.publish_job(_job(2))
+    assert t.claim_shard("w0", lease_timeout_s=60) == "s0000"
+    assert t.claim_shard("w1", lease_timeout_s=60) == "s0001"
+    assert t.claim_shard("w2", lease_timeout_s=60) is None
+
+
+def test_completed_shards_are_never_claimed(tmp_path):
+    t = FileTransport(tmp_path)
+    t.publish_job(_job(2))
+    t.submit_result("s0000", "w9", [])
+    assert t.claim_shard("w0", lease_timeout_s=60) == "s0001"
+
+
+def test_stale_lease_is_broken_then_stolen(tmp_path):
+    t = FileTransport(tmp_path)
+    t.publish_job(_job(1))
+    assert t.claim_shard("w0", lease_timeout_s=60) == "s0000"
+    # a live lease is not stale and not claimable
+    assert not t.lease_is_stale("s0000", timeout_s=60)
+    assert t.claim_shard("w1", lease_timeout_s=60) is None
+    # age the lease below the horizon: first claim breaks it, the
+    # next claim (any worker) wins the vacated slot
+    lease = t.lease_path("s0000")
+    lease.write_text(
+        json.dumps({"shard": "s0000", "worker": "w0", "ts": time.time() - 10})
+    )
+    assert t.lease_is_stale("s0000", timeout_s=1)
+    assert t.claim_shard("w1", lease_timeout_s=1) is None  # broke it
+    assert t.claim_shard("w1", lease_timeout_s=1) == "s0000"  # stole it
+
+
+def test_heartbeat_refreshes_staleness(tmp_path):
+    t = FileTransport(tmp_path)
+    t.publish_job(_job(1))
+    t.claim_shard("w0", lease_timeout_s=60)
+    lease = t.lease_path("s0000")
+    lease.write_text(
+        json.dumps({"shard": "s0000", "worker": "w0", "ts": time.time() - 10})
+    )
+    assert t.lease_is_stale("s0000", timeout_s=1)
+    t.heartbeat("s0000", "w0")
+    assert not t.lease_is_stale("s0000", timeout_s=1)
+
+
+def test_corrupt_lease_counts_as_stale(tmp_path):
+    t = FileTransport(tmp_path)
+    t.publish_job(_job(1))
+    t.lease_path("s0000").parent.mkdir(parents=True, exist_ok=True)
+    t.lease_path("s0000").write_text('{"no": "timestamp"}')
+    assert t.lease_is_stale("s0000", timeout_s=3600)
+
+
+def test_leases_of_lists_only_that_workers_holdings(tmp_path):
+    t = FileTransport(tmp_path)
+    t.publish_job(_job(3))
+    t.claim_shard("w0", lease_timeout_s=60)
+    t.claim_shard("w1", lease_timeout_s=60)
+    assert t.leases_of("w0") == ["s0000"]
+    assert t.leases_of("w1") == ["s0001"]
+    assert t.leases_of("w2") == []
+
+
+# ---------------------------------------------------------------------------
+# results
+# ---------------------------------------------------------------------------
+
+
+def test_submit_load_and_all_done(tmp_path):
+    t = FileTransport(tmp_path)
+    t.publish_job(_job(2))
+    records = [{"index": 0, "summary": {"app_time": 1.0}}]
+    t.submit_result("s0000", "w0", records)
+    loaded = t.load_result("s0000")
+    assert loaded["worker"] == "w0"
+    assert loaded["records"] == records
+    assert t.completed_shard_ids() == ["s0000"]
+    assert not t.all_done(["s0000", "s0001"])
+    t.submit_result("s0001", "w1", [])
+    assert t.all_done(["s0000", "s0001"])
+
+
+def test_duplicate_submit_is_an_identical_overwrite(tmp_path):
+    t = FileTransport(tmp_path)
+    t.publish_job(_job(1))
+    records = [{"index": 0, "summary": {"app_time": 1.0}}]
+    t.submit_result("s0000", "w0", records)
+    first = t.result_path("s0000").read_bytes()
+    t.submit_result("s0000", "w0", records)
+    assert t.result_path("s0000").read_bytes() == first
+
+
+def test_load_result_rejects_malformed_files(tmp_path):
+    t = FileTransport(tmp_path)
+    assert t.load_result("s0000") is None
+    t.result_path("s0000").parent.mkdir(parents=True, exist_ok=True)
+    t.result_path("s0000").write_text("not json")
+    assert t.load_result("s0000") is None
+    t.result_path("s0000").write_text('{"schema": 1, "records": "nope"}')
+    assert t.load_result("s0000") is None
+
+
+# ---------------------------------------------------------------------------
+# event tailing
+# ---------------------------------------------------------------------------
+
+
+def _event(name, **fields):
+    return json.dumps(
+        {"schema": PROGRESS_SCHEMA, "event": name, "t": 0.0, **fields}
+    )
+
+
+def test_tailer_yields_each_event_exactly_once(tmp_path):
+    t = FileTransport(tmp_path)
+    with t.open_event_stream("w0") as fh:
+        fh.write(_event("point_done", label="a") + "\n")
+    tailer = t.event_tailer()
+    assert [e["label"] for _w, e in tailer.drain()] == ["a"]
+    assert list(tailer.drain()) == []
+    with t.open_event_stream("w0") as fh:
+        fh.write(_event("point_done", label="b") + "\n")
+    assert [e["label"] for _w, e in tailer.drain()] == ["b"]
+
+
+def test_tailer_interleaves_multiple_worker_streams(tmp_path):
+    t = FileTransport(tmp_path)
+    for wid in ("w0", "w1"):
+        with t.open_event_stream(wid) as fh:
+            fh.write(_event("point_done", label=wid) + "\n")
+    drained = dict(t.event_tailer().drain())
+    assert set(drained) == {"w0", "w1"}
+
+
+def test_tailer_withholds_incomplete_final_line(tmp_path):
+    t = FileTransport(tmp_path)
+    path = t.events_path("w0")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as fh:
+        fh.write(_event("point_done", label="a") + "\n")
+        fh.write('{"schema": 1, "event": "point_d')  # writer mid-line
+    tailer = t.event_tailer()
+    assert [e["label"] for _w, e in tailer.drain()] == ["a"]
+    # the write completes; only the completed line is new
+    with open(path, "a") as fh:
+        fh.write('one", "label": "b", "t": 0.0}\n')
+    assert [e["label"] for _w, e in tailer.drain()] == ["b"]
+
+
+def test_tailer_skip_existing_fast_forwards(tmp_path):
+    t = FileTransport(tmp_path)
+    with t.open_event_stream("w0") as fh:
+        fh.write(_event("point_done", label="old") + "\n")
+    tailer = t.event_tailer(skip_existing=True)
+    assert list(tailer.drain()) == []
+    with t.open_event_stream("w0") as fh:
+        fh.write(_event("point_done", label="new") + "\n")
+    assert [e["label"] for _w, e in tailer.drain()] == ["new"]
+
+
+def test_tailer_skips_foreign_lines(tmp_path):
+    tailer = EventTailer(tmp_path)
+    (tmp_path / "w0.jsonl").write_text(
+        "garbage\n" + _event("point_done", label="a") + "\n"
+    )
+    assert [e["label"] for _w, e in tailer.drain()] == ["a"]
+
+
+def test_worker_registration_records_identity(tmp_path):
+    t = FileTransport(tmp_path)
+    t.register_worker("w7")
+    reg = json.loads(t.worker_path("w7").read_text())
+    assert reg["worker"] == "w7"
+    assert reg["pid"] == os.getpid()

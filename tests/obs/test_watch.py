@@ -137,3 +137,75 @@ def test_eta_and_throughput_edge_cases():
     assert r.throughput() is None and r.eta_s() is None
     r.feed(_ev("sweep_start", 0.0, spec="s", points=0, workers=0, cached=0))
     assert "workers=?" in r.render()  # renders before any completion
+
+
+# ---------------------------------------------------------------------------
+# multi-worker (fabric) streams: interleaving, dedup, per-worker rates
+# ---------------------------------------------------------------------------
+
+FABRIC_EVENTS = [
+    _ev("sweep_start", 0.0, spec="fab", points=4, workers=2, cached=0,
+        driver="fabric", shards=2),
+    _ev("shard_claimed", 0.01, shard="s0000", worker="w0"),
+    _ev("shard_claimed", 0.01, shard="s0001", worker="w1"),
+    # interleaved completions from two workers' merged streams
+    _ev("point_done", 0.2, label="a", key="ka", cached=False, wall_s=0.2,
+        worker="w0", shard="s0000"),
+    _ev("point_done", 0.3, label="c", key="kc", cached=False, wall_s=0.3,
+        worker="w1", shard="s0001"),
+    _ev("point_done", 0.4, label="b", key="kb", cached=False, wall_s=0.2,
+        worker="w0", shard="s0000"),
+    _ev("point_done", 0.6, label="d", key="kd", cached=False, wall_s=0.3,
+        worker="w1", shard="s0001"),
+]
+
+
+def test_per_worker_throughput_from_interleaved_streams():
+    r = replay(FABRIC_EVENTS)
+    rates = r.worker_throughput()
+    # exact: w0 did 2 points in 0.4s busy, w1 did 2 in 0.6s busy
+    assert rates["w0"] == 2 / 0.4
+    assert rates["w1"] == 2 / 0.6
+    frame = r.render()
+    assert "w0: 2 done, last b (5.00/s)" in frame
+    assert "w1: 2 done, last d (3.33/s)" in frame
+    assert "4/4 points" in frame
+
+
+def test_redelivered_point_done_counts_once_toward_progress():
+    # at-least-once delivery: a worker dies after completing a point,
+    # the shard is re-run and the point re-reported as a cache hit
+    events = FABRIC_EVENTS + [
+        _ev("point_done", 0.7, label="a", key="ka", cached=True, wall_s=0.0,
+            worker="cache", shard="s0000"),
+    ]
+    r = replay(events)
+    assert r.done == 4  # not 5
+    assert r.cached == 0  # first completion of 'a' was an execution
+    assert "4/4 points" in r.render()
+
+
+def test_fabric_stream_round_trips_through_watch_replay(tmp_path, capsys):
+    events = FABRIC_EVENTS + [
+        _ev("sweep_done", 1.0, points=4, executed=4, cache_hits=0,
+            hit_rate=0.0, elapsed_s=1.0, executed_wall_s=1.0, workers=2,
+            worker_utilization=0.5),
+    ]
+    path = tmp_path / "events.jsonl"
+    path.write_text("".join(json.dumps(e) + "\n" for e in events))
+    out = io.StringIO()
+    assert watch_file(path, out=out, require_finished=True) == 0
+    frame = out.getvalue()
+    assert "w0: 2 done" in frame and "w1: 2 done" in frame
+    assert "4/4 points" in frame
+
+
+def test_watch_replay_fails_on_unfinished_stream(tmp_path, capsys):
+    path = tmp_path / "events.jsonl"
+    path.write_text(
+        "".join(json.dumps(e) + "\n" for e in FABRIC_EVENTS)
+    )
+    out = io.StringIO()
+    assert watch_file(path, out=out, require_finished=True) == 1
+    assert "no sweep_done" in capsys.readouterr().err
+    assert "4/4 points" in out.getvalue()  # the frame still prints

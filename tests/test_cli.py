@@ -483,3 +483,91 @@ def test_inspect_empty_dir_is_a_clean_one_line_error(tmp_path, capsys):
     assert err.startswith("repro inspect: error:")
     assert len(err.strip().splitlines()) == 1
     assert "Traceback" not in err
+
+
+# ---------------------------------------------------------------------------
+# fabric: the distributed driver from the command line
+# ---------------------------------------------------------------------------
+
+
+def test_fabric_run_smoke_with_injected_kill_matches_serial(tmp_path, capsys):
+    import json
+
+    # serial reference first, through the shared cache-free path
+    assert main(["sweep", "--preset", "smoke", "--no-cache",
+                 "--no-registry"]) == 0
+    serial_out = capsys.readouterr().out
+
+    jsonl = tmp_path / "progress.jsonl"
+    rc = main([
+        "fabric", "run", "--preset", "smoke",
+        "--workers", "2",
+        "--dir", str(tmp_path / "job"),
+        "--cache-dir", str(tmp_path / "cache"),
+        "--shard-size", "1",
+        "--fault", "kill:w0:0:1",
+        "--lease-timeout", "2",
+        "--jsonl", str(jsonl),
+        "--registry", str(tmp_path / "registry"),
+    ])
+    assert rc == 0
+    fabric_out = capsys.readouterr().out
+    # identical per-point summaries: the table rows (minus the run-time
+    # column) must match the serial run line for line
+    def rows(text):
+        return [
+            line.rsplit(None, 1)[0]
+            for line in text.splitlines()
+            if line.startswith("cores=")
+        ]
+
+    assert rows(fabric_out) == rows(serial_out)
+
+    events = [json.loads(l) for l in jsonl.read_text().splitlines()]
+    kinds = [e["event"] for e in events]
+    assert kinds[0] == "sweep_start"
+    assert events[0]["driver"] == "fabric"
+    assert "worker_dead" in kinds
+    assert "sweep_done" in kinds
+    assert "run_registered" in kinds
+
+
+def test_fabric_run_rejects_bad_fault_spec(tmp_path, capsys):
+    rc = main([
+        "fabric", "run", "--preset", "smoke",
+        "--dir", str(tmp_path / "job"),
+        "--fault", "explode:w0:0",
+        "--no-cache", "--no-registry",
+    ])
+    assert rc == 2
+    assert "repro fabric run: error:" in capsys.readouterr().err
+
+
+def test_fabric_worker_without_job_is_a_clean_error(tmp_path, capsys):
+    assert main(["fabric", "worker", str(tmp_path / "nope")]) == 2
+    err = capsys.readouterr().err
+    assert err.startswith("repro fabric worker: error:")
+    assert "Traceback" not in err
+
+
+def test_watch_replay_asserts_completion(tmp_path, capsys):
+    jsonl = tmp_path / "progress.jsonl"
+    assert main(["sweep", "--preset", "smoke", "--no-cache", "--no-registry",
+                 "--jsonl", str(jsonl)]) == 0
+    capsys.readouterr()
+    assert main(["watch", str(jsonl), "--replay"]) == 0
+    assert "4/4 points" in capsys.readouterr().out
+
+    # strip the sweep_done tail: --replay must now fail
+    lines = jsonl.read_text().splitlines()
+    truncated = [l for l in lines if '"sweep_done"' not in l]
+    jsonl.write_text("\n".join(truncated) + "\n")
+    assert main(["watch", str(jsonl), "--replay"]) == 1
+    assert "no sweep_done" in capsys.readouterr().err
+
+
+def test_watch_replay_incompatible_with_follow(tmp_path, capsys):
+    path = tmp_path / "events.jsonl"
+    path.write_text("")
+    assert main(["watch", str(path), "--replay", "--follow"]) == 2
+    assert "incompatible" in capsys.readouterr().err
