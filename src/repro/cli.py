@@ -217,11 +217,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     pw = sub.add_parser(
         "watch",
-        help="render live sweep progress from a --jsonl event file",
+        help="render live sweep progress from a --jsonl event file "
+        "or a fabric job directory",
     )
     pw.add_argument(
-        "path", type=Path, metavar="FILE",
-        help="progress JSONL file written by 'sweep --jsonl'",
+        "path", type=Path, metavar="PATH",
+        help="progress JSONL file written by 'sweep --jsonl', or a "
+        "fabric job directory (tails every worker event stream)",
     )
     pw.add_argument(
         "--follow", "-f", action="store_true",
@@ -342,6 +344,12 @@ def build_parser() -> argparse.ArgumentParser:
         "into a resumable job directory",
     )
     pfr.add_argument(
+        "--no-trace", action="store_true",
+        help="disable the flight recorder (no span timestamps, no "
+        "coordinator.jsonl mirror); sweep results are bit-identical "
+        "either way",
+    )
+    pfr.add_argument(
         "--output", type=Path, default=None, metavar="DIR",
         help="also write the result table into DIR/sweep_<name>.txt",
     )
@@ -356,6 +364,37 @@ def build_parser() -> argparse.ArgumentParser:
     pfw.add_argument(
         "--worker-id", default=None, metavar="ID",
         help="stable worker identity (default: w<pid>)",
+    )
+    pft = fab_sub.add_parser(
+        "trace",
+        help="assemble the flight-recorder spans of a fabric job into "
+        "one causal timeline with health metrics and critical path",
+    )
+    pft.add_argument(
+        "dir", type=Path, metavar="DIR",
+        help="job directory written by 'repro fabric run'",
+    )
+    pft.add_argument(
+        "--perfetto", type=Path, default=None, metavar="FILE",
+        help="also export a Chrome/Perfetto trace (one track per "
+        "worker) to FILE",
+    )
+    pft.add_argument(
+        "--json", action="store_true",
+        help="emit the assembled trace as JSON instead of text",
+    )
+    pfs = fab_sub.add_parser(
+        "status",
+        help="snapshot a fabric job directory: queue depth, leases, "
+        "worker liveness (read-only, safe while the job runs)",
+    )
+    pfs.add_argument(
+        "dir", type=Path, metavar="DIR",
+        help="job directory written by 'repro fabric run'",
+    )
+    pfs.add_argument(
+        "--json", action="store_true",
+        help="emit the snapshot as JSON instead of text",
     )
 
     prep = sub.add_parser(
@@ -787,6 +826,7 @@ def _cmd_fabric_run(args) -> int:
                 "worker_poll_s": args.poll,
                 "respawn": not args.no_respawn,
                 "timeout_s": args.timeout,
+                "trace": not args.no_trace,
             },
         )
     except FabricIncomplete as exc:
@@ -810,9 +850,58 @@ def _cmd_fabric_run(args) -> int:
     return 0
 
 
+def _cmd_fabric_trace(args) -> int:
+    import json
+
+    from repro.obs.fabtrace import (
+        assemble_trace,
+        export_perfetto,
+        format_trace_text,
+    )
+
+    try:
+        trace = assemble_trace(args.dir)
+    except (ValueError, OSError) as exc:
+        print(f"repro fabric trace: error: {exc}", file=sys.stderr)
+        return 2
+    if args.perfetto is not None:
+        args.perfetto.parent.mkdir(parents=True, exist_ok=True)
+        n = export_perfetto(trace, args.perfetto)
+        print(
+            f"[perfetto trace: {n} event(s) -> {args.perfetto}]",
+            file=sys.stderr,
+        )
+    if args.json:
+        print(json.dumps(trace.to_dict(), indent=1, sort_keys=True))
+    else:
+        print(format_trace_text(trace))
+    return 1 if trace.problems else 0
+
+
+def _cmd_fabric_status(args) -> int:
+    import json
+
+    from repro.obs.fabtrace import fabric_status, format_status_text
+
+    try:
+        status = fabric_status(args.dir)
+    except (ValueError, OSError) as exc:
+        print(f"repro fabric status: error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(status, indent=1, sort_keys=True))
+    else:
+        print(format_status_text(status))
+    return 0
+
+
 def _cmd_fabric(args) -> int:
     if args.fabric_command == "worker":
         return _cmd_fabric_worker(args)
+    if args.fabric_command == "trace":
+        return _cmd_fabric_trace(args)
+    if args.fabric_command == "status":
+        return _cmd_fabric_status(args)
     return _cmd_fabric_run(args)
 
 
@@ -1056,6 +1145,22 @@ def _cmd_runs(args) -> int:
         if args.runs_command == "show":
             record = registry.load(args.ref)
             print(json.dumps(record, indent=1, sort_keys=True))
+            fabric = record.get("fabric")
+            if isinstance(fabric, dict):
+                # human-readable summary on stderr; stdout stays pure JSON
+                print(
+                    "[fabric: {w} worker(s), {s} shard(s), "
+                    "{st} steal(s), {r} respawn(s), {d} death(s) "
+                    "in {dir}]".format(
+                        w=len(fabric.get("workers_seen", [])),
+                        s=fabric.get("shards", "?"),
+                        st=fabric.get("steals", 0),
+                        r=fabric.get("respawns", 0),
+                        d=fabric.get("worker_deaths", 0),
+                        dir=fabric.get("fabric_dir", "?"),
+                    ),
+                    file=sys.stderr,
+                )
             return 0
 
         if args.runs_command == "diff":

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import hashlib
 import multiprocessing
+import sys
 import time
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
@@ -105,6 +106,95 @@ def _spawn_worker(
     return proc
 
 
+#: Cap on per-run attempt/shard detail persisted to the registry — keeps
+#: run records small for million-point studies while preserving full
+#: detail for the shard counts a dashboard actually draws.
+_FABRIC_DETAIL_CAP = 200
+
+
+def _fabric_stats(
+    log: EventLog,
+    *,
+    fabric_dir: Path,
+    shards: Sequence[Shard],
+    outcomes: Dict[int, Any],
+    workers: int,
+    max_respawns: int,
+    trace: bool,
+) -> Dict[str, Any]:
+    """Condense the coordinator's merged stream into a fabric summary.
+
+    Computed from the coordinator's **own** :class:`EventLog` (relayed
+    worker events carry coordinator-clock ``t``), so the block needs no
+    import from :mod:`repro.obs` — the registry just stores it, and the
+    anomaly rules / report read it back. Attempts are reconstructed the
+    same way :mod:`repro.obs.fabtrace` does, but against relay times:
+    a ``shard_claimed`` opens an attempt; ``shard_done``, a ``fault``,
+    or a ``shard_reassigned`` steal closes it.
+    """
+    attempts: List[Dict[str, Any]] = []
+    open_by_shard: Dict[str, List[Dict[str, Any]]] = {}
+    workers_seen: set = set()
+    for e in log.events:
+        kind = e.get("event")
+        shard = e.get("shard")
+        if kind == "shard_claimed":
+            attempt = {
+                "shard": shard,
+                "worker": e.get("worker"),
+                "t0": e.get("t"),
+                "t1": None,
+                "outcome": "running",
+            }
+            attempts.append(attempt)
+            open_by_shard.setdefault(str(shard), []).append(attempt)
+            workers_seen.add(str(e.get("worker")))
+        elif kind in ("shard_done", "fault"):
+            for attempt in open_by_shard.get(str(shard), []):
+                if (
+                    attempt["outcome"] == "running"
+                    and attempt["worker"] == e.get("worker")
+                ):
+                    attempt["t1"] = e.get("t")
+                    if kind == "shard_done":
+                        attempt["outcome"] = "done"
+                    else:
+                        attempt["outcome"] = (
+                            "killed" if e.get("kind") == "kill" else "hung"
+                        )
+                    break
+        elif kind == "shard_reassigned":
+            for attempt in open_by_shard.get(str(shard), []):
+                if attempt["outcome"] == "running":
+                    attempt["t1"] = e.get("t")
+                    attempt["outcome"] = "stolen"
+    shard_walls: Dict[str, float] = {}
+    for s in shards[:_FABRIC_DETAIL_CAP]:
+        shard_walls[s.shard_id] = round(
+            sum(
+                outcomes[i].wall_s
+                for i in s.point_indices
+                if i in outcomes and not outcomes[i].cached
+            ),
+            6,
+        )
+    return {
+        "fabric_dir": str(fabric_dir),
+        "workers": workers,
+        "workers_seen": sorted(workers_seen),
+        "shards": len(shards),
+        "steals": len(log.of_type("shard_reassigned")),
+        "respawns": sum(
+            1 for e in log.of_type("worker_spawned") if e.get("respawn")
+        ),
+        "max_respawns": max_respawns,
+        "worker_deaths": len(log.of_type("worker_dead")),
+        "trace": trace,
+        "shard_walls": shard_walls,
+        "attempts": attempts[:_FABRIC_DETAIL_CAP],
+    }
+
+
 def run_fabric_sweep(
     spec: "SweepSpec",
     *,
@@ -124,6 +214,7 @@ def run_fabric_sweep(
     respawn: bool = True,
     max_respawns: int = 2,
     timeout_s: float = 600.0,
+    trace: bool = True,
 ) -> "SweepResult":
     """Execute ``spec`` across sharded workers; summaries match
     :func:`~repro.experiments.sweep.run_sweep` bit for bit.
@@ -266,10 +357,25 @@ def run_fabric_sweep(
                 "heartbeat_s": heartbeat_s,
                 "lease_timeout_s": lease_timeout_s,
                 "poll_s": worker_poll_s,
+                "trace": trace,
             },
         }
         if misses:
             transport.publish_job(job)
+
+    # flight recorder: with tracing on (the default), the coordinator's
+    # own span stream is dual-stamped (t_wall/t_mono) and teed into
+    # <fabric_dir>/coordinator.jsonl — job root, NOT events/, so the
+    # worker-stream tailer never re-ingests it. With tracing off nothing
+    # is written and events stay wall-clock-free; summaries are a pure
+    # function of the points either way.
+    coord_stream = None
+    if trace and transport.has_job():
+        coord_stream = open(
+            fabric_dir / "coordinator.jsonl", "a", encoding="utf-8"
+        )
+        log.add_mirror(coord_stream)
+        log.enable_clock()
 
     log.emit(
         "sweep_start",
@@ -281,6 +387,19 @@ def run_fabric_sweep(
         shards=len(shards),
         fabric_dir=str(fabric_dir),
     )
+    if resuming:
+        log.emit(
+            "job_resumed",
+            fabric_dir=str(fabric_dir),
+            shards=len(shards),
+        )
+    elif misses:
+        log.emit(
+            "job_published",
+            fabric_dir=str(fabric_dir),
+            shards=len(shards),
+            points=len(misses),
+        )
     for p in points:
         if p.index in outcomes:
             log.emit(
@@ -344,12 +463,15 @@ def run_fabric_sweep(
     def drain_events() -> None:
         for _worker, event in tailer.drain():
             kind = event.get("event")
-            if kind in ("worker_start", "worker_exit"):
-                continue  # lifecycle noise; the merged stream keeps points
+            if kind in ("worker_start", "worker_exit", "lease_heartbeat"):
+                # lifecycle/heartbeat noise stays in the per-worker
+                # streams (the flight recorder reads those directly);
+                # the merged stream keeps points and shard transitions
+                continue
             fields = {
                 k: v
                 for k, v in event.items()
-                if k not in ("schema", "event", "t")
+                if k not in ("schema", "event", "t", "t_wall", "t_mono")
             }
             log.emit(kind, **fields)
 
@@ -443,6 +565,14 @@ def run_fabric_sweep(
         if transport.has_job():
             shutdown_workers()
             drain_events()
+        # on an exception (FabricIncomplete, simulator error) detach the
+        # mirror NOW: a resume may reuse this EventLog, and a stale
+        # mirror would double-write the next run's stream. The success
+        # path keeps it attached so sweep_done/run_registered land too.
+        if coord_stream is not None and sys.exc_info()[0] is not None:
+            log.remove_mirror(coord_stream)
+            coord_stream.close()
+            coord_stream = None
 
     missing = [i for p in points if (i := p.index) not in outcomes]
     if missing:  # pragma: no cover - guarded by the pending loop
@@ -470,8 +600,23 @@ def run_fabric_sweep(
     ordered = tuple(outcomes[p.index] for p in points)
     result = SweepResult(spec_name=spec.name, results=ordered, metrics=metrics)
     if registry is not None:
+        fabric_block = _fabric_stats(
+            log,
+            fabric_dir=fabric_dir,
+            shards=shards,
+            outcomes=outcomes,
+            workers=workers,
+            max_respawns=max_respawns,
+            trace=trace,
+        )
         record = registry.ingest_sweep(
-            spec, result, artifacts={"fabric_dir": fabric_dir}
+            spec,
+            result,
+            artifacts={"fabric_dir": fabric_dir},
+            extra={"fabric": fabric_block},
         )
         log.emit("run_registered", run_id=record["run_id"])
+    if coord_stream is not None:
+        log.remove_mirror(coord_stream)
+        coord_stream.close()
     return result

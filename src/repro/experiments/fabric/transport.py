@@ -79,6 +79,10 @@ class FileTransport:
 
     def __init__(self, root: Union[str, Path]) -> None:
         self.root = Path(root)
+        # lease-staleness observation memory: shard -> ((ts, mono),
+        # observer monotonic time of the last content change). See
+        # lease_is_stale for why staleness is judged per *observer*.
+        self._lease_obs: Dict[str, Tuple[Tuple[Any, Any], float]] = {}
 
     # ------------------------------------------------------------------
     # paths
@@ -167,20 +171,60 @@ class FileTransport:
         return _read_json(self.lease_path(shard_id))
 
     def heartbeat(self, shard_id: str, worker_id: str) -> None:
-        """Refresh (or write) the lease's liveness timestamp atomically."""
+        """Refresh (or write) the lease's liveness timestamps atomically.
+
+        Both clocks travel in the lease: ``ts`` (wall) is comparable
+        across hosts when clocks are sane, ``mono`` (the writer's
+        monotonic clock) only ever advances — so a *changing* lease is
+        proof of life even when the writer's wall clock is skewed or
+        stepped relative to the observer's.
+        """
         _atomic_write_json(
             self.lease_path(shard_id),
-            {"shard": shard_id, "worker": worker_id, "ts": time.time()},
+            {
+                "shard": shard_id,
+                "worker": worker_id,
+                "ts": time.time(),
+                "mono": time.monotonic(),
+            },
         )
 
     def lease_is_stale(self, shard_id: str, timeout_s: float) -> bool:
+        """True once the lease holder has provably stopped heartbeating.
+
+        Two regimes, keyed on whether the lease carries the ``mono``
+        field a real heartbeat always writes:
+
+        * a lease **without** ``mono`` (hand-written, legacy, or with a
+          corrupt ``ts``) is judged by wall-clock age alone — corrupt
+          timestamps count as stale immediately;
+        * a lease **with** ``mono`` is judged by *observation*: it is
+          stale only once its content has sat unchanged for
+          ``timeout_s`` on this observer's own monotonic clock. A
+          heartbeating worker changes the lease every beat, so it is
+          never stolen no matter how far its wall clock is skewed or
+          stepped from ours; a dead worker's lease freezes and expires
+          one observer-timeout after we first see it.
+        """
         lease = self._read_lease(shard_id)
         if lease is None:
+            self._lease_obs.pop(shard_id, None)
             return False
         ts = lease.get("ts")
         if not isinstance(ts, (int, float)):
+            self._lease_obs.pop(shard_id, None)
             return True
-        return (time.time() - ts) > timeout_s
+        mono = lease.get("mono")
+        if not isinstance(mono, (int, float)):
+            self._lease_obs.pop(shard_id, None)
+            return (time.time() - ts) > timeout_s
+        content = (ts, mono)
+        now = time.monotonic()
+        prev = self._lease_obs.get(shard_id)
+        if prev is None or prev[0] != content:
+            self._lease_obs[shard_id] = (content, now)
+            return False
+        return (now - prev[1]) > timeout_s
 
     def break_lease(self, shard_id: str) -> bool:
         """Delete a lease (stale expiry / dead-worker cleanup)."""
@@ -231,7 +275,12 @@ class FileTransport:
                 continue
             with os.fdopen(fd, "w") as fh:
                 json.dump(
-                    {"shard": shard_id, "worker": worker_id, "ts": time.time()},
+                    {
+                        "shard": shard_id,
+                        "worker": worker_id,
+                        "ts": time.time(),
+                        "mono": time.monotonic(),
+                    },
                     fh,
                 )
             return shard_id

@@ -28,7 +28,7 @@ import os
 import threading
 import time
 from pathlib import Path
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.experiments.cache import ResultCache
 from repro.experiments.fabric.faults import FaultInjector
@@ -42,7 +42,13 @@ _log = get_logger(__name__)
 
 
 class LeaseHeartbeat:
-    """Daemon thread refreshing one shard lease at a fixed cadence."""
+    """Daemon thread refreshing one shard lease at a fixed cadence.
+
+    ``on_beat`` (the flight-recorder hook) fires after every successful
+    lease refresh — the worker uses it to emit ``lease_heartbeat`` span
+    events into its stream when tracing is on. :class:`EventLog` emits
+    under a lock, so the callback is safe from this daemon thread.
+    """
 
     def __init__(
         self,
@@ -50,11 +56,13 @@ class LeaseHeartbeat:
         shard_id: str,
         worker_id: str,
         interval_s: float,
+        on_beat: Optional[Callable[[], None]] = None,
     ) -> None:
         self._transport = transport
         self._shard_id = shard_id
         self._worker_id = worker_id
         self._interval_s = interval_s
+        self._on_beat = on_beat
         self._stop = threading.Event()
         self._thread = threading.Thread(
             target=self._run, name=f"heartbeat-{shard_id}", daemon=True
@@ -69,6 +77,9 @@ class LeaseHeartbeat:
                 _log.warning(
                     "heartbeat failed for %s/%s", self._worker_id, self._shard_id
                 )
+                continue
+            if self._on_beat is not None:
+                self._on_beat()
 
     def stop(self) -> None:
         self._stop.set()
@@ -100,12 +111,29 @@ def _execute_shard_points(
         action = injector.at_boundary(shard_ordinal, completed)
         if action == "kill":
             _log.info("%s: injected kill at %s+%d", worker_id, shard_id, completed)
+            # the span lands before the exit: emit flushes the stream,
+            # so the flight recorder sees the kill even though nothing
+            # after os._exit ever runs
+            events.emit(
+                "fault",
+                kind="kill",
+                worker=worker_id,
+                shard=shard_id,
+                completed=completed,
+            )
             os._exit(137)
         if action == "hang":
             # Stop participating without exiting: the lease goes stale
             # (the caller stops the heartbeat), the shard gets stolen,
             # and this process idles until the coordinator says stop.
             _log.info("%s: injected hang at %s+%d", worker_id, shard_id, completed)
+            events.emit(
+                "fault",
+                kind="hang",
+                worker=worker_id,
+                shard=shard_id,
+                completed=completed,
+            )
             return "hang"
         return None
 
@@ -215,11 +243,17 @@ def worker_main(
     all_shard_ids = sorted(shard_indices)
     injector = FaultInjector.from_dicts(job.get("faults"), worker_id)
 
+    # tracing (on by default) adds t_wall/t_mono to every event and
+    # narrates lease heartbeats; with it off the stream is exactly the
+    # pre-flight-recorder vocabulary. Either way summaries are a pure
+    # function of the points — events never feed back into execution.
+    trace = bool(config.get("trace", True))
+
     transport.register_worker(worker_id)
     shard_ordinal = 0
     hung = False
     with transport.open_event_stream(worker_id) as stream:
-        events = EventLog(stream=stream)
+        events = EventLog(stream=stream, clock=trace)
         events.emit("worker_start", worker=worker_id, pid=os.getpid())
         while not transport.stopped():
             if hung or transport.all_done(all_shard_ids):
@@ -235,8 +269,16 @@ def worker_main(
                 time.sleep(poll)
                 continue
             events.emit("shard_claimed", shard=shard_id, worker=worker_id)
+            on_beat = None
+            if trace:
+
+                def on_beat(shard: str = shard_id) -> None:
+                    events.emit(
+                        "lease_heartbeat", shard=shard, worker=worker_id
+                    )
+
             heartbeat = LeaseHeartbeat(
-                transport, shard_id, worker_id, heartbeat_s
+                transport, shard_id, worker_id, heartbeat_s, on_beat
             )
             try:
                 records = _execute_shard_points(

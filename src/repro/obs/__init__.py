@@ -10,8 +10,12 @@ build costs. This package is the cross-run layer:
 * :mod:`repro.obs.watch` — live sweep monitoring over the ``schema: 1``
   progress event stream (``repro watch``, ``repro sweep --live``);
 * :mod:`repro.obs.anomaly` — rule-based detectors (Eq. 2 drift, timing
-  penalty outliers, migration spikes, bench regressions) behind
-  ``repro runs check``;
+  penalty outliers, migration spikes, bench regressions, fabric steal
+  storms / respawn burn / straggler shards) behind ``repro runs check``;
+* :mod:`repro.obs.fabtrace` — the fabric flight recorder: assembles
+  every worker's span stream into one clock-rebased causal timeline
+  with health metrics, critical path and a Perfetto export
+  (``repro fabric trace`` / ``repro fabric status``);
 * :mod:`repro.obs.report` — the self-contained HTML dashboard
   (``repro report``).
 
@@ -27,9 +31,19 @@ from repro.obs.anomaly import (
     Finding,
     Thresholds,
     check_bench_trajectory,
+    check_fabric,
     check_run,
     has_errors,
     max_severity,
+)
+from repro.obs.fabtrace import (
+    FabricTrace,
+    ShardAttempt,
+    assemble_trace,
+    export_perfetto,
+    fabric_status,
+    format_status_text,
+    format_trace_text,
 )
 from repro.obs.registry import (
     RUN_SCHEMA,
@@ -57,8 +71,16 @@ __all__ = [
     "SEV_ERROR",
     "check_run",
     "check_bench_trajectory",
+    "check_fabric",
     "max_severity",
     "has_errors",
+    "FabricTrace",
+    "ShardAttempt",
+    "assemble_trace",
+    "export_perfetto",
+    "fabric_status",
+    "format_trace_text",
+    "format_status_text",
     "build_report",
     "render_report",
     "write_report",

@@ -142,12 +142,18 @@ class RunRegistry:
         *,
         artifacts: Optional[Mapping[str, Any]] = None,
         created_utc: Optional[str] = None,
+        extra: Optional[Mapping[str, Any]] = None,
     ) -> Dict[str, Any]:
         """Record one completed sweep; returns the stored record.
 
         ``artifacts`` maps artifact kinds to paths (``audit_dir``,
         ``jsonl``, ``output`` — whatever the caller wrote); paths are
         stored as strings, never resolved or read back.
+
+        ``extra`` merges additional driver-specific top-level sections
+        into the record (the fabric coordinator attaches its ``fabric``
+        health block this way); reserved record keys are never
+        clobbered.
         """
         from repro.perf.bench import environment_fingerprint
 
@@ -182,6 +188,10 @@ class RunRegistry:
                 for k, v in (artifacts or {}).items()
             },
         }
+        if extra:
+            for key, value in extra.items():
+                if key not in record:
+                    record[key] = value
         record["run_id"] = self._new_run_id(
             "sweep", spec.name, created, [p["key"] for p in points]
         )

@@ -56,7 +56,7 @@ def to_trace_events(
                 "ph": "M",
                 "pid": pid,
                 "tid": cid,
-                "args": {"name": f"core {cid}"},
+                "args": {"name": trace.core_names.get(cid, f"core {cid}")},
             }
         )
     for t in trace.tasks:

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import sys
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 __all__ = [
     "TaskEvent",
@@ -95,6 +95,10 @@ class TraceLog:
         self.iterations: List[IterationEvent] = []
         self.lb_steps: List[LBStepEvent] = []
         self.migrations: List[MigrationEvent] = []
+        #: Optional display names per ``core_id`` for trace exporters
+        #: (the fabric flight recorder maps worker ids onto "cores");
+        #: unnamed cores fall back to ``core <id>``.
+        self.core_names: Dict[int, str] = {}
 
     # ------------------------------------------------------------------
     def add_task(self, ev: TaskEvent) -> None:

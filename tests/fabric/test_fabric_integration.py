@@ -337,3 +337,85 @@ def test_local_driver_rejects_fabric_options(tmp_path):
 def test_unknown_driver_rejected():
     with pytest.raises(ValueError, match="driver"):
         run_sweep(SPEC, driver="slurm")
+
+
+# ---------------------------------------------------------------------------
+# the flight recorder over a real drill
+# ---------------------------------------------------------------------------
+
+
+def test_kill_drill_leaves_a_complete_causal_trace(tmp_path):
+    from repro.obs.fabtrace import assemble_trace, fabric_status
+
+    registry = RunRegistry(tmp_path / "registry")
+    log = EventLog()
+    run_fabric_sweep(
+        SPEC,
+        fabric_dir=tmp_path / "job",
+        workers=2,
+        cache=ResultCache(tmp_path / "cache"),
+        log=log,
+        registry=registry,
+        shard_size=2,
+        faults=[parse_fault("kill:w0:0:1")],
+        **FAST,
+    )
+    trace = assemble_trace(tmp_path / "job")
+    # the acceptance bar: every executed point attributable to exactly
+    # one committed shard attempt, with the kill and the steal visible
+    assert trace.problems == []
+    outcomes = {a.outcome for a in trace.attempts}
+    assert "killed" in outcomes
+    killed = next(a for a in trace.attempts if a.outcome == "killed")
+    successor = next(
+        a
+        for a in trace.attempts
+        if a.shard == killed.shard and a.committed
+    )
+    assert successor.worker != killed.worker
+    assert successor.start >= killed.end
+    assert trace.health["worker_deaths"] == 1
+    assert trace.health["faults"]["kill"] == 1
+    assert trace.health["committed"] == 4  # one per shard
+    assert sum(1 for a in trace.attempts if a.committed) == 4
+
+    # the same story is visible without assembly: status + registry
+    status = fabric_status(tmp_path / "job")
+    assert status["done"] == 4 and status["queued"] == []
+    (event,) = _events_of(log, "run_registered")
+    fabric = registry.load(event["run_id"])["fabric"]
+    assert fabric["worker_deaths"] == 1
+    assert fabric["steals"] >= 1
+    assert "w0" in fabric["workers_seen"]
+
+
+def test_tracing_off_is_bit_identical_and_leaves_no_clock_artifacts(tmp_path):
+    serial = _serial()
+    fab_off = run_fabric_sweep(
+        SPEC,
+        fabric_dir=tmp_path / "off",
+        workers=2,
+        cache=ResultCache(tmp_path / "cache-off"),
+        shard_size=2,
+        trace=False,
+        **FAST,
+    )
+    fab_on = run_fabric_sweep(
+        SPEC,
+        fabric_dir=tmp_path / "on",
+        workers=2,
+        cache=ResultCache(tmp_path / "cache-on"),
+        shard_size=2,
+        trace=True,
+        **FAST,
+    )
+    # the null-hook doctrine: the recorder observes, never perturbs
+    assert serial.summaries() == fab_off.summaries() == fab_on.summaries()
+    # tracing off leaves no recorder artifacts: no coordinator mirror,
+    # no dual stamps in the worker streams
+    assert not (tmp_path / "off" / "coordinator.jsonl").exists()
+    for stream in (tmp_path / "off" / "events").glob("*.jsonl"):
+        assert '"t_wall"' not in stream.read_text()
+    assert (tmp_path / "on" / "coordinator.jsonl").exists()
+    w_on = next((tmp_path / "on" / "events").glob("*.jsonl")).read_text()
+    assert '"t_wall"' in w_on and '"t_mono"' in w_on

@@ -119,6 +119,57 @@ def test_heartbeat_refreshes_staleness(tmp_path):
     assert not t.lease_is_stale("s0000", timeout_s=1)
 
 
+def test_claim_and_heartbeat_record_both_clocks(tmp_path):
+    # the lease carries wall AND monotonic stamps: wall for humans and
+    # cross-host eyeballing, mono so a *changing* lease is proof of
+    # life regardless of wall-clock skew
+    t = FileTransport(tmp_path)
+    t.publish_job(_job(1))
+    t.claim_shard("w0", lease_timeout_s=60)
+    lease = json.loads(t.lease_path("s0000").read_text())
+    assert isinstance(lease["ts"], float)
+    assert isinstance(lease["mono"], float)
+    t.heartbeat("s0000", "w0")
+    refreshed = json.loads(t.lease_path("s0000").read_text())
+    assert refreshed["mono"] >= lease["mono"]
+
+
+def test_skewed_wall_clock_never_starves_a_heartbeating_lease(tmp_path):
+    # the holder's wall clock is an hour behind — the wall-age rule
+    # would steal instantly. With mono present the observer-side rule
+    # applies: a lease whose content keeps changing is alive, full stop.
+    t = FileTransport(tmp_path)
+    t.publish_job(_job(1))
+    t.claim_shard("w0", lease_timeout_s=60)
+
+    def beat(mono):
+        t.lease_path("s0000").write_text(
+            json.dumps({"shard": "s0000", "worker": "w0",
+                        "ts": time.time() - 3600, "mono": mono})
+        )
+
+    beat(1.0)
+    assert not t.lease_is_stale("s0000", timeout_s=0.01)  # first sighting
+    time.sleep(0.03)
+    beat(2.0)  # heartbeat: content changed, observation re-arms
+    assert not t.lease_is_stale("s0000", timeout_s=0.01)
+    time.sleep(0.03)
+    # frozen content past the observer's own timeout: now it is stale
+    assert t.lease_is_stale("s0000", timeout_s=0.01)
+
+
+def test_legacy_lease_without_mono_uses_wall_age(tmp_path):
+    t = FileTransport(tmp_path)
+    t.publish_job(_job(1))
+    t.claim_shard("w0", lease_timeout_s=60)
+    t.lease_path("s0000").write_text(
+        json.dumps({"shard": "s0000", "worker": "w0",
+                    "ts": time.time() - 10})
+    )
+    assert t.lease_is_stale("s0000", timeout_s=1)
+    assert not t.lease_is_stale("s0000", timeout_s=3600)
+
+
 def test_corrupt_lease_counts_as_stale(tmp_path):
     t = FileTransport(tmp_path)
     t.publish_job(_job(1))

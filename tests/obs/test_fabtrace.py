@@ -1,0 +1,434 @@
+"""The fabric flight recorder: trace assembly, rebasing, health, export.
+
+Everything here runs against synthetic job directories — hand-written
+``"schema":1`` streams with *deliberately skewed* wall clocks — so the
+assembler's one real promise (the merged timeline is causally
+consistent no matter how the hosts' clocks disagree) is tested directly
+rather than hoped for. The live-fabric end of the same contract (real
+workers, real kills) lives in ``tests/fabric/test_fabric_integration``.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.fabric.transport import JOB_SCHEMA, FileTransport
+from repro.experiments.progress import PROGRESS_SCHEMA
+from repro.obs.fabtrace import (
+    COORDINATOR,
+    FabricTrace,
+    assemble_trace,
+    export_perfetto,
+    fabric_status,
+    format_status_text,
+    format_trace_text,
+)
+
+_EPS = 1e-6
+
+
+def _stream_lines(events, *, skew=0.0, mono_base=0.0, clock=True):
+    """Serialize ``(true_time, payload)`` pairs as one worker's JSONL.
+
+    ``t`` is the offset from the stream's first event (what EventLog
+    writes); with ``clock`` the dual stamps are added — ``t_mono`` on a
+    private monotonic axis, ``t_wall`` on a wall clock ``skew`` seconds
+    away from the true global clock.
+    """
+    t0 = events[0][0]
+    lines = []
+    for true_t, payload in events:
+        record = {
+            "schema": PROGRESS_SCHEMA,
+            "t": round(true_t - t0, 6),
+            **payload,
+        }
+        if clock:
+            record["t_mono"] = round(true_t + mono_base, 6)
+            record["t_wall"] = round(true_t + skew, 6)
+        lines.append(json.dumps(record))
+    return "".join(line + "\n" for line in lines)
+
+
+def _kill_drill_job(root, *, skews=(0.0, 0.0, 0.0), clock=True):
+    """A 2-shard, 2-worker job where w0 is killed and w1 steals.
+
+    True (global) schedule:
+      w0: claims s0000, executes ``ka``, dies to a kill fault at 0.31
+      w1: finishes s0001 (``kb``), then steals s0000 and re-runs ``ka``
+      coordinator: narrates publish, completes, the death and the steal
+    ``skews`` shifts each stream's *wall* clock (coordinator, w0, w1)
+    without touching the true order — the assembler must undo it.
+    """
+    coord_skew, w0_skew, w1_skew = skews
+    transport = FileTransport(root)
+    transport.publish_job(
+        {
+            "schema": JOB_SCHEMA,
+            "name": "drill",
+            "shards": [
+                {"index": 0, "shard_id": "s0000", "point_indices": [0]},
+                {"index": 1, "shard_id": "s0001", "point_indices": [1]},
+            ],
+        }
+    )
+    (root / "events").mkdir(exist_ok=True)
+    (root / "events" / "w0.jsonl").write_text(
+        _stream_lines(
+            [
+                (0.02, {"event": "worker_start", "worker": "w0"}),
+                (0.03, {"event": "shard_claimed", "shard": "s0000",
+                        "worker": "w0", "points": 1}),
+                (0.30, {"event": "point_done", "shard": "s0000",
+                        "worker": "w0", "key": "ka", "label": "a",
+                        "cached": False, "wall_s": 0.27}),
+                (0.31, {"event": "fault", "kind": "kill", "shard": "s0000",
+                        "worker": "w0"}),
+            ],
+            skew=w0_skew, mono_base=100.0, clock=clock,
+        )
+    )
+    (root / "events" / "w1.jsonl").write_text(
+        _stream_lines(
+            [
+                (0.02, {"event": "worker_start", "worker": "w1"}),
+                (0.03, {"event": "shard_claimed", "shard": "s0001",
+                        "worker": "w1", "points": 1}),
+                (0.40, {"event": "point_done", "shard": "s0001",
+                        "worker": "w1", "key": "kb", "label": "b",
+                        "cached": False, "wall_s": 0.36}),
+                (0.41, {"event": "shard_done", "shard": "s0001",
+                        "worker": "w1", "points": 1}),
+                (0.70, {"event": "shard_claimed", "shard": "s0000",
+                        "worker": "w1", "points": 1}),
+                (0.90, {"event": "point_done", "shard": "s0000",
+                        "worker": "w1", "key": "ka", "label": "a",
+                        "cached": False, "wall_s": 0.19}),
+                (0.91, {"event": "shard_done", "shard": "s0000",
+                        "worker": "w1", "points": 1}),
+                (0.95, {"event": "worker_exit", "worker": "w1"}),
+            ],
+            skew=w1_skew, mono_base=200.0, clock=clock,
+        )
+    )
+    (root / "coordinator.jsonl").write_text(
+        _stream_lines(
+            [
+                (0.00, {"event": "sweep_start", "spec": "drill", "points": 2,
+                        "workers": 2, "cached": 0}),
+                (0.01, {"event": "job_published", "shards": 2}),
+                (0.45, {"event": "shard_complete", "shard": "s0001",
+                        "worker": "w1"}),
+                (0.60, {"event": "worker_dead", "worker": "w0"}),
+                (0.61, {"event": "shard_reassigned", "shard": "s0000",
+                        "worker": "w0"}),
+                (0.95, {"event": "shard_complete", "shard": "s0000",
+                        "worker": "w1"}),
+                (1.00, {"event": "sweep_done", "points": 2}),
+            ],
+            skew=coord_skew, mono_base=300.0, clock=clock,
+        )
+    )
+    transport.submit_result(
+        "s0001", "w1", [{"key": "kb", "cached": False}]
+    )
+    transport.submit_result(
+        "s0000", "w1", [{"key": "ka", "cached": False}]
+    )
+    return root
+
+
+def _g(trace, stream, predicate):
+    """Global time of the first event of ``stream`` matching ``predicate``."""
+    for event in trace.streams[stream]:
+        if predicate(event):
+            return event["g"]
+    raise AssertionError(f"no matching event in {stream}")
+
+
+def _assert_causally_consistent(trace: FabricTrace) -> None:
+    """The protocol's happens-before pairs hold on the rebased clock."""
+    publish = _g(trace, COORDINATOR, lambda e: e["event"] == "job_published")
+    for worker in ("w0", "w1"):
+        first = trace.streams[worker][0]["g"]
+        assert publish <= first + _EPS, (publish, worker, first)
+    done_s1 = _g(
+        trace, "w1",
+        lambda e: e["event"] == "shard_done" and e.get("shard") == "s0001",
+    )
+    complete_s1 = _g(
+        trace, COORDINATOR,
+        lambda e: e["event"] == "shard_complete" and e.get("shard") == "s0001",
+    )
+    assert done_s1 <= complete_s1 + _EPS
+    # the steal: w0's kill precedes w1's claim of the same shard
+    kill = _g(trace, "w0", lambda e: e["event"] == "fault")
+    steal_claim = _g(
+        trace, "w1",
+        lambda e: e["event"] == "shard_claimed" and e.get("shard") == "s0000",
+    )
+    assert kill <= steal_claim + _EPS
+    # global timestamps never go backwards within one stream
+    for events in trace.streams.values():
+        gs = [e["g"] for e in events]
+        assert gs == sorted(gs)
+    assert all(e["g"] >= 0 for e in trace.timeline)
+
+
+# ---------------------------------------------------------------------------
+# assembly on honest clocks
+# ---------------------------------------------------------------------------
+
+
+def test_assemble_reconstructs_the_kill_drill(tmp_path):
+    trace = assemble_trace(_kill_drill_job(tmp_path))
+    assert trace.job_name == "drill"
+    assert trace.workers == ["w0", "w1"]
+    _assert_causally_consistent(trace)
+
+    by_label = {a.label: a for a in trace.attempts}
+    assert set(by_label) == {"s0000#1", "s0000#2", "s0001#1"}
+    assert by_label["s0000#1"].worker == "w0"
+    assert by_label["s0000#1"].outcome == "killed"
+    assert not by_label["s0000#1"].committed
+    assert by_label["s0000#2"].worker == "w1"
+    assert by_label["s0000#2"].outcome == "done"
+    assert by_label["s0000#2"].committed
+    assert by_label["s0001#1"].committed
+
+    health = trace.health
+    assert health["steals"] == 1
+    assert health["worker_deaths"] == 1
+    assert health["faults"] == {"kill": 1, "hang": 0, "duplicate": 0}
+    assert health["committed"] == 2
+    assert trace.problems == []
+    # the critical path ends at the last-finishing attempt (the steal)
+    assert trace.critical_path[-1].label == "s0000#2"
+
+
+def test_queue_depth_series_tracks_claims_steals_and_completions(tmp_path):
+    trace = assemble_trace(_kill_drill_job(tmp_path))
+    depths = [d for _t, d in trace.health["queue_depth"]]
+    # 2 queued -> both claimed -> s0001 done -> s0000 requeued by the
+    # steal -> reclaimed -> done
+    assert depths[0] in (1, 2) and 0 in depths
+    assert depths[-1] == 0
+    times = [t for t, _d in trace.health["queue_depth"]]
+    assert times == sorted(times)
+
+
+def test_assembly_without_clock_fields_falls_back_to_envelope_t(tmp_path):
+    """Tracing off: no ``t_wall``/``t_mono`` anywhere, causality still holds."""
+    trace = assemble_trace(_kill_drill_job(tmp_path, clock=False))
+    _assert_causally_consistent(trace)
+    assert trace.problems == []
+    assert trace.health["steals"] == 1
+
+
+def test_missing_job_is_a_value_error(tmp_path):
+    with pytest.raises(ValueError, match="no fabric job"):
+        assemble_trace(tmp_path)
+
+
+def test_interrupted_stream_yields_a_lost_attempt(tmp_path):
+    """A stream that ends mid-attempt (hard crash): outcome ``lost``."""
+    root = _kill_drill_job(tmp_path)
+    (root / "events" / "w2.jsonl").write_text(
+        _stream_lines(
+            [
+                (1.10, {"event": "worker_start", "worker": "w2"}),
+                (1.11, {"event": "shard_claimed", "shard": "s0001",
+                        "worker": "w2", "points": 1}),
+            ],
+            mono_base=400.0,
+        )
+    )
+    trace = assemble_trace(root)
+    lost = [a for a in trace.attempts if a.worker == "w2"]
+    assert len(lost) == 1 and lost[0].outcome == "lost"
+    assert not lost[0].committed
+
+
+def test_commit_by_unnarrated_worker_is_reported_as_a_problem(tmp_path):
+    root = _kill_drill_job(tmp_path)
+    FileTransport(root).submit_result(
+        "s0001", "ghost", [{"key": "kb", "cached": False}]
+    )
+    trace = assemble_trace(root)
+    assert any("ghost" in p for p in trace.problems)
+    assert "PROBLEMS" in format_trace_text(trace)
+
+
+# ---------------------------------------------------------------------------
+# clock rebasing under skew
+# ---------------------------------------------------------------------------
+
+
+def test_gross_wall_skew_is_undone_by_causal_edges(tmp_path):
+    # w1's wall clock is five minutes behind, w0's two minutes ahead —
+    # far beyond any lease timeout. Wall order is garbage; the
+    # assembled order must not be.
+    trace = assemble_trace(
+        _kill_drill_job(tmp_path, skews=(0.0, 120.0, -300.0))
+    )
+    _assert_causally_consistent(trace)
+    assert trace.problems == []
+    by_label = {a.label: a for a in trace.attempts}
+    # attempt numbering follows the rebased clock: the killed attempt
+    # is still #1 even though its wall stamps say it ran "later"
+    assert by_label["s0000#1"].outcome == "killed"
+    assert by_label["s0000#2"].committed
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    coord_skew=st.floats(-600.0, 600.0),
+    w0_skew=st.floats(-600.0, 600.0),
+    w1_skew=st.floats(-600.0, 600.0),
+)
+def test_causal_consistency_for_any_clock_skew(
+    tmp_path_factory, coord_skew, w0_skew, w1_skew
+):
+    root = tmp_path_factory.mktemp("skew")
+    trace = assemble_trace(
+        _kill_drill_job(root, skews=(coord_skew, w0_skew, w1_skew))
+    )
+    _assert_causally_consistent(trace)
+    assert trace.problems == []
+    # structure is skew-invariant: same attempts, same commits
+    assert {
+        (a.label, a.outcome, a.committed) for a in trace.attempts
+    } == {
+        ("s0000#1", "killed", False),
+        ("s0000#2", "done", True),
+        ("s0001#1", "done", True),
+    }
+
+
+@settings(max_examples=20, deadline=None)
+@given(skew=st.floats(-600.0, 600.0))
+def test_rebasing_preserves_intra_stream_durations(tmp_path_factory, skew):
+    root = tmp_path_factory.mktemp("dur")
+    trace = assemble_trace(_kill_drill_job(root, skews=(0.0, skew, 0.0)))
+    w0 = trace.streams["w0"]
+    # offsets slide whole streams: gaps between a stream's own events
+    # are exactly the monotonic gaps, untouched by the rebase
+    assert w0[-1]["g"] - w0[0]["g"] == pytest.approx(0.31 - 0.02, abs=1e-5)
+
+
+# ---------------------------------------------------------------------------
+# Perfetto export
+# ---------------------------------------------------------------------------
+
+
+def test_perfetto_export_round_trips_the_viewer_contract(tmp_path):
+    trace = assemble_trace(_kill_drill_job(tmp_path / "job"))
+    out = tmp_path / "drill.trace.json"
+    n = export_perfetto(trace, out)
+    events = json.load(open(out))
+    assert isinstance(events, list) and len(events) == n
+    # per-track monotonic timestamps — same invariant as the simulator's
+    # trace-format tests
+    per_track = {}
+    for e in events:
+        if "ts" in e:
+            per_track.setdefault(
+                (e["pid"], e.get("tid"), e.get("cat")), []
+            ).append(e["ts"])
+    for key, ts in per_track.items():
+        assert ts == sorted(ts), key
+    # one named track per worker
+    thread_names = {
+        e["args"]["name"] for e in events if e.get("name") == "thread_name"
+    }
+    assert thread_names == {"w0", "w1"}
+    # the steal appears as a migration between the workers' tracks
+    migrations = [e for e in events if e.get("cat") == "migration"]
+    assert len(migrations) == 1
+
+
+def test_perfetto_export_is_skew_stable(tmp_path):
+    """The same drill exports the same span structure under gross skew."""
+    a = assemble_trace(_kill_drill_job(tmp_path / "a"))
+    b = assemble_trace(
+        _kill_drill_job(tmp_path / "b", skews=(60.0, -240.0, 300.0))
+    )
+    export_perfetto(a, tmp_path / "a.json")
+    export_perfetto(b, tmp_path / "b.json")
+
+    def spans(path):
+        return sorted(
+            (e["name"], e["tid"])
+            for e in json.load(open(path))
+            if e.get("cat") == "task"
+        )
+
+    assert spans(tmp_path / "a.json") == spans(tmp_path / "b.json")
+
+
+# ---------------------------------------------------------------------------
+# live status
+# ---------------------------------------------------------------------------
+
+
+def test_fabric_status_snapshot(tmp_path):
+    root = _kill_drill_job(tmp_path)
+    transport = FileTransport(root)
+    transport.register_worker("w0")
+    transport.register_worker("w1")
+    status = fabric_status(root)
+    assert status["name"] == "drill"
+    assert status["shards"] == 2 and status["done"] == 2
+    assert status["queued"] == [] and status["leased"] == []
+    assert not status["stopped"]
+    workers = {w["worker"]: w for w in status["workers"]}
+    assert workers["w0"]["last_event"] == "fault"
+    assert workers["w1"]["last_event"] == "worker_exit"
+    text = format_status_text(status)
+    assert "2/2 done" in text and "w0" in text
+
+
+def test_fabric_status_shows_live_leases_and_queue(tmp_path):
+    transport = FileTransport(tmp_path)
+    transport.publish_job(
+        {
+            "schema": JOB_SCHEMA,
+            "name": "live",
+            "shards": [
+                {"index": s, "shard_id": f"s{s:04d}", "point_indices": [s]}
+                for s in range(3)
+            ],
+        }
+    )
+    transport.claim_shard("w0", lease_timeout_s=60)
+    transport.submit_result("s0001", "w1", [])
+    status = fabric_status(tmp_path)
+    assert status["done"] == 1
+    assert [lease["shard"] for lease in status["leased"]] == ["s0000"]
+    assert status["leased"][0]["worker"] == "w0"
+    assert status["queued"] == ["s0002"]
+    assert "lease s0000 -> w0" in format_status_text(status)
+
+
+def test_fabric_status_without_a_job_is_a_value_error(tmp_path):
+    with pytest.raises(ValueError, match="no fabric job"):
+        fabric_status(tmp_path)
+
+
+# ---------------------------------------------------------------------------
+# renderings
+# ---------------------------------------------------------------------------
+
+
+def test_trace_text_summarises_health_and_critical_path(tmp_path):
+    trace = assemble_trace(_kill_drill_job(tmp_path))
+    text = format_trace_text(trace)
+    assert "fabric trace: drill" in text
+    assert "steals=1" in text and "kill=1" in text
+    assert "critical path" in text
+    assert "causality: every executed point" in text
+    data = trace.to_dict()
+    json.dumps(data)  # JSON-ready, no dataclasses/paths left inside
+    assert data["critical_path"][-1] == "s0000#2"

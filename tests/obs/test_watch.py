@@ -209,3 +209,59 @@ def test_watch_replay_fails_on_unfinished_stream(tmp_path, capsys):
     assert watch_file(path, out=out, require_finished=True) == 1
     assert "no sweep_done" in capsys.readouterr().err
     assert "4/4 points" in out.getvalue()  # the frame still prints
+
+
+# ---------------------------------------------------------------------------
+# fabric job directories: tail every worker stream in place
+# ---------------------------------------------------------------------------
+
+
+def test_watch_accepts_a_fabric_job_directory(tmp_path):
+    from .test_fabtrace import _kill_drill_job
+
+    root = _kill_drill_job(tmp_path)
+    out = io.StringIO()
+    assert watch_file(root, out=out) == 0
+    frame = out.getvalue()
+    assert "sweep drill" in frame
+    assert "shards: 2/2 results on disk" in frame
+    # per-worker lines come from the tailed event streams
+    assert "w1: 2 done" in frame
+
+
+def test_watch_fabric_dir_dedupes_redelivered_points(tmp_path):
+    # the killed worker completed 'ka' before dying; the stealer re-ran
+    # it — at-least-once delivery means two point_done events for one
+    # point, which must count once toward progress
+    from .test_fabtrace import _kill_drill_job
+
+    root = _kill_drill_job(tmp_path)
+    out = io.StringIO()
+    assert watch_file(root, out=out) == 0
+    assert "2/2 points" in out.getvalue()
+
+
+def test_watch_fabric_dir_replay_fails_when_shards_missing(tmp_path, capsys):
+    from .test_fabtrace import _kill_drill_job
+
+    root = _kill_drill_job(tmp_path)
+    (root / "results" / "s0001.json").unlink()
+    out = io.StringIO()
+    assert watch_file(root, out=out, require_finished=True) == 1
+    assert "1/2" in capsys.readouterr().err
+
+
+def test_watch_directory_without_a_job_is_a_clean_error(tmp_path, capsys):
+    assert watch_file(tmp_path, out=io.StringIO()) == 2
+    assert "no fabric job" in capsys.readouterr().err
+
+
+def test_watch_fabric_dir_follow_stops_on_timeout(tmp_path):
+    from .test_fabtrace import _kill_drill_job
+
+    root = _kill_drill_job(tmp_path)
+    (root / "results" / "s0000.json").unlink()  # never finishes
+    out = io.StringIO()
+    assert watch_file(root, out=out, follow=True, interval=0.01,
+                      timeout_s=0.05) == 0
+    assert "1/2 results on disk" in out.getvalue()

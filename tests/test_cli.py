@@ -550,6 +550,91 @@ def test_fabric_worker_without_job_is_a_clean_error(tmp_path, capsys):
     assert "Traceback" not in err
 
 
+def test_fabric_trace_and_status_over_a_job_directory(tmp_path, capsys):
+    import json
+
+    from tests.obs.test_fabtrace import _kill_drill_job
+
+    job = _kill_drill_job(tmp_path / "job")
+
+    assert main(["fabric", "status", str(job)]) == 0
+    out = capsys.readouterr().out
+    assert "fabric status: drill" in out and "2/2 done" in out
+
+    perfetto = tmp_path / "drill.trace.json"
+    assert main(["fabric", "trace", str(job),
+                 "--perfetto", str(perfetto)]) == 0
+    captured = capsys.readouterr()
+    assert "fabric trace: drill" in captured.out
+    assert "steals=1" in captured.out
+    assert "critical path" in captured.out
+    assert "perfetto trace:" in captured.err
+    assert isinstance(json.load(open(perfetto)), list)
+
+    assert main(["fabric", "trace", str(job), "--json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["health"]["steals"] == 1 and data["problems"] == []
+
+    assert main(["fabric", "status", str(job), "--json"]) == 0
+    assert json.loads(capsys.readouterr().out)["done"] == 2
+
+
+def test_fabric_trace_problems_exit_nonzero(tmp_path, capsys):
+    from repro.experiments.fabric.transport import FileTransport
+    from tests.obs.test_fabtrace import _kill_drill_job
+
+    job = _kill_drill_job(tmp_path / "job")
+    # a result committed by a worker no stream ever narrated: the
+    # causality validation must fail loudly, not render politely
+    FileTransport(job).submit_result("s0001", "ghost", [])
+    assert main(["fabric", "trace", str(job)]) == 1
+    assert "PROBLEMS" in capsys.readouterr().out
+
+
+def test_fabric_trace_and_status_errors_are_clean(tmp_path, capsys):
+    for sub in ("trace", "status"):
+        assert main(["fabric", sub, str(tmp_path / "nope")]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith(f"repro fabric {sub}: error:")
+        assert "Traceback" not in err
+
+
+def test_fabric_run_no_trace_leaves_no_recorder_artifacts(tmp_path, capsys):
+    rc = main([
+        "fabric", "run", "--preset", "smoke",
+        "--workers", "1", "--shards", "1",
+        "--dir", str(tmp_path / "job"),
+        "--cache-dir", str(tmp_path / "cache"),
+        "--no-registry", "--no-trace",
+    ])
+    assert rc == 0
+    capsys.readouterr()
+    assert not (tmp_path / "job" / "coordinator.jsonl").exists()
+    events = list((tmp_path / "job" / "events").glob("*.jsonl"))
+    assert events and all('"t_wall"' not in p.read_text() for p in events)
+
+
+def test_runs_show_surfaces_fabric_counts_on_stderr(tmp_path, capsys):
+    from repro.obs.registry import RunRegistry
+    from tests.obs.conftest import PAIRED_POINTS, build_run
+
+    registry = RunRegistry(tmp_path / "registry")
+    spec, result = build_run("drill", PAIRED_POINTS)
+    registry.ingest_sweep(
+        spec, result, created_utc="2026-08-06T10:00:00Z",
+        extra={"fabric": {"fabric_dir": "/jobs/d", "workers_seen": ["w0", "w1"],
+                          "shards": 4, "steals": 1, "respawns": 2,
+                          "worker_deaths": 1}},
+    )
+    import json
+
+    assert main(["runs"] + _registry_args(tmp_path) + ["show", "latest"]) == 0
+    captured = capsys.readouterr()
+    record = json.loads(captured.out)  # stdout is still pure JSON
+    assert record["fabric"]["steals"] == 1
+    assert "[fabric: 2 worker(s), 4 shard(s), 1 steal(s)" in captured.err
+
+
 def test_watch_replay_asserts_completion(tmp_path, capsys):
     jsonl = tmp_path / "progress.jsonl"
     assert main(["sweep", "--preset", "smoke", "--no-cache", "--no-registry",
