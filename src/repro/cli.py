@@ -17,6 +17,8 @@ writing code::
     python -m repro watch progress.jsonl --follow
     python -m repro runs list
     python -m repro runs check latest
+    python -m repro sweep --preset smoke --ledger
+    python -m repro explain latest
     python -m repro report
     python -m repro bench --suite micro
     python -m repro bench --compare benchmarks/trajectory/baseline.json
@@ -195,6 +197,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--audit", type=Path, default=None, metavar="DIR",
         help="run with telemetry: write per-point LB audit JSONL (and "
         "Chrome/Perfetto traces for executed points) into DIR",
+    )
+    psw.add_argument(
+        "--ledger", action="store_true",
+        help="run every point with a time-attribution ledger "
+        "(repro.obs.ledger): conservation-checked summaries ride the "
+        "results, the cache and the registry; inspect them with "
+        "'repro explain' (incompatible with --audit)",
     )
     psw.add_argument(
         "--live", action="store_true",
@@ -425,7 +434,11 @@ def build_parser() -> argparse.ArgumentParser:
         "$REPRO_REGISTRY_DIR)",
     )
     runs_sub = pruns.add_subparsers(dest="runs_command", required=True)
-    runs_sub.add_parser("list", help="list every registered run")
+    prl = runs_sub.add_parser("list", help="list every registered run")
+    prl.add_argument(
+        "--json", action="store_true",
+        help="emit the index lines as JSON instead of a table",
+    )
     prs = runs_sub.add_parser("show", help="print one run record as JSON")
     prs.add_argument(
         "ref", metavar="REF",
@@ -453,6 +466,53 @@ def build_parser() -> argparse.ArgumentParser:
     prc.add_argument(
         "--json", action="store_true",
         help="emit findings as JSON instead of text",
+    )
+
+    pex = sub.add_parser(
+        "explain",
+        help="per-core time-attribution waterfall (compute / stolen / "
+        "overhead / idle + energy split) for a registered run",
+    )
+    pex.add_argument(
+        "ref", nargs="?", default="latest", metavar="REF",
+        help="run id, unique prefix, 'latest', or 'latest:<name>' "
+        "(default: latest)",
+    )
+    pex.add_argument(
+        "--registry", type=Path, default=None, metavar="DIR",
+        help="run registry location (default: results/registry, or "
+        "$REPRO_REGISTRY_DIR)",
+    )
+    pex.add_argument(
+        "--point", default=None, metavar="SUBSTR",
+        help="only explain points whose label contains SUBSTR "
+        "(default: every point of the run)",
+    )
+    pex.add_argument(
+        "--top", type=int, default=8, metavar="N",
+        help="top chare contributors listed per point (default: 8)",
+    )
+    pex.add_argument(
+        "--backend",
+        choices=["auto", "events", "fast"],
+        default="auto",
+        help="backend used when a point's ledger must be recomputed "
+        "(runs recorded without 'sweep --ledger'; ledgers are "
+        "bit-identical across backends)",
+    )
+    pex.add_argument(
+        "--json", action="store_true",
+        help="emit the ledger + energy payload as JSON instead of text",
+    )
+    pex.add_argument(
+        "--perfetto", type=Path, default=None, metavar="DIR",
+        help="also write one Chrome/Perfetto trace per point (stacked "
+        "per-iteration attribution counter track) into DIR",
+    )
+    pex.add_argument(
+        "--output", type=Path, default=None, metavar="DIR",
+        help="also write the waterfall into DIR/explain.txt "
+        "(DIR/explain.json with --json)",
     )
 
     pb = sub.add_parser(
@@ -694,6 +754,13 @@ def _cmd_sweep(args) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.ledger and args.audit is not None:
+        print(
+            "repro sweep: error: --ledger and --audit are mutually "
+            "exclusive",
+            file=sys.stderr,
+        )
+        return 2
     cache = None
     if not args.no_cache:
         cache = ResultCache(args.cache_dir or default_cache_dir())
@@ -724,6 +791,7 @@ def _cmd_sweep(args) -> int:
             audit_dir=args.audit,
             registry=registry,
             backend=args.backend,
+            ledger=args.ledger,
         )
     finally:
         if jsonl_stream is not None:
@@ -1119,6 +1187,9 @@ def _cmd_runs(args) -> int:
 
     if args.runs_command == "list":
         runs = registry.list()
+        if args.json:
+            print(json.dumps(runs, indent=1, sort_keys=True))
+            return 0
         if not runs:
             print(f"registry at {registry.root} is empty")
             return 0
@@ -1204,6 +1275,136 @@ def _cmd_runs(args) -> int:
     return 1 if has_errors(findings) else 0
 
 
+def _cmd_explain(args) -> int:
+    import json
+
+    from repro.experiments.sweep import build_scenario, run_point_ledgered
+    from repro.obs.ledger import format_ledger_text
+    from repro.obs.registry import RunRegistry, default_registry_dir
+    from repro.power.meter import decompose_energy
+    from repro.power.model import PowerModel
+
+    if args.top < 0:
+        print(
+            f"repro explain: error: --top must be >= 0, got {args.top}",
+            file=sys.stderr,
+        )
+        return 2
+    registry = RunRegistry(args.registry or default_registry_dir())
+    try:
+        record = registry.load(args.ref)
+    except (ValueError, OSError) as exc:
+        print(f"repro explain: error: {exc}", file=sys.stderr)
+        return 2
+    if record.get("kind") != "sweep":
+        print(
+            f"repro explain: error: run {record['run_id']} is a "
+            f"{record.get('kind', '?')} run; only sweep runs carry "
+            "per-point ledgers",
+            file=sys.stderr,
+        )
+        return 2
+    points = [
+        p
+        for p in record.get("points", ())
+        if args.point is None or args.point in p.get("label", "")
+    ]
+    if not points:
+        print(
+            f"repro explain: error: no point of run {record['run_id']} "
+            f"matches {args.point!r}",
+            file=sys.stderr,
+        )
+        return 2
+
+    sections: List[str] = []
+    payload: List[dict] = []
+    violations: List[str] = []
+    for p in points:
+        ledger = p.get("ledger")
+        recomputed = ledger is None
+        if recomputed:
+            # the sweep ran without --ledger: re-execute this point with
+            # one attached (identical summary, bit-identical ledger on
+            # either backend)
+            try:
+                _, ledger = run_point_ledgered(
+                    p["params"], backend=args.backend
+                )
+            except (ValueError, KeyError) as exc:
+                print(f"repro explain: error: {exc}", file=sys.stderr)
+                return 2
+        scenario = build_scenario(p["params"])
+        nodes = len(
+            {cid // scenario.cores_per_node for cid in scenario.app_core_ids}
+        )
+        summary = p["summary"]
+        energy = decompose_energy(
+            PowerModel(cores_per_node=scenario.cores_per_node),
+            duration_s=summary["app_time"],
+            busy_core_seconds=summary["busy_core_seconds"],
+            nodes=nodes,
+            busy_by_bucket=ledger["busy"],
+        )
+        if not ledger["conserved"]:
+            violations.append(
+                f"{p['label']}: conservation violated "
+                f"(residual {ledger['residual_s']} s)"
+            )
+        if energy["energy_j"] != summary["energy_j"]:
+            violations.append(
+                f"{p['label']}: energy decomposition does not reconcile "
+                f"({energy['energy_j']} != {summary['energy_j']} J)"
+            )
+        sections.append(
+            format_ledger_text(
+                ledger, label=p["label"], energy=energy, top=args.top
+            )
+        )
+        payload.append(
+            {
+                "label": p["label"],
+                "params": p["params"],
+                "recomputed": recomputed,
+                "ledger": ledger,
+                "energy": energy,
+            }
+        )
+        if args.perfetto is not None:
+            from repro.projections.export import write_chrome_trace
+            from repro.runtime.tracing import TraceLog
+
+            args.perfetto.mkdir(parents=True, exist_ok=True)
+            write_chrome_trace(
+                TraceLog(enabled=False),
+                str(args.perfetto / f"{p['label']}.ledger.trace.json"),
+                job_name=p["label"],
+                ledger=ledger,
+            )
+
+    doc = {
+        "run_id": record["run_id"],
+        "name": record.get("name"),
+        "points": payload,
+        "violations": violations,
+    }
+    if args.json:
+        print(json.dumps(doc, indent=1, sort_keys=True))
+        if args.output is not None:
+            from repro.telemetry import write_json_artifact
+
+            args.output.mkdir(parents=True, exist_ok=True)
+            path = write_json_artifact(doc, args.output / "explain.json")
+            print(f"[written to {path}]", file=sys.stderr)
+    else:
+        text = f"run {record['run_id']} ({record.get('name')})\n\n"
+        text += "\n\n".join(sections)
+        _emit(text, "explain", args.output)
+    for v in violations:
+        print(f"repro explain: VIOLATION: {v}", file=sys.stderr)
+    return 1 if violations else 0
+
+
 _COMMANDS = {
     "fig1": _cmd_fig1,
     "fig2": _cmd_fig2,
@@ -1216,6 +1417,7 @@ _COMMANDS = {
     "watch": _cmd_watch,
     "report": _cmd_report,
     "runs": _cmd_runs,
+    "explain": _cmd_explain,
     "bench": _cmd_bench,
     "inspect": _cmd_inspect,
 }

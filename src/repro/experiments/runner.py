@@ -84,12 +84,18 @@ def run_scenario(
     *,
     telemetry: Optional[Telemetry] = None,
     backend: str = "auto",
+    ledger=None,
 ) -> ExperimentResult:
     """Execute ``scenario`` on a fresh simulated cluster.
 
     ``telemetry`` (optional) is attached to the *application* runtime: it
     collects per-LB-step audit records and run metrics without affecting
     the simulation (results are bit-identical with or without it).
+
+    ``ledger`` (optional, a :class:`~repro.obs.ledger.TimeLedger`) is
+    attached over the application's cores on either backend and closed —
+    with its conservation check — at application finish. Like telemetry,
+    it never affects the simulation.
 
     ``backend`` selects the simulation backend:
 
@@ -111,7 +117,9 @@ def run_scenario(
         )
 
         if backend == "fast" or fastpath_unsupported_reason(scenario) is None:
-            return run_scenario_fast(scenario, telemetry=telemetry)
+            return run_scenario_fast(
+                scenario, telemetry=telemetry, ledger=ledger
+            )
     engine = SimulationEngine()
     cluster = Cluster(
         engine,
@@ -151,6 +159,20 @@ def run_scenario(
     )
     reading_at_app_end: list = []
     app_rt.on_finish(lambda rt: reading_at_app_end.append(meter.reading()))
+
+    if ledger is not None:
+        app_rt.ledger = ledger
+        for cid in scenario.app_core_ids:
+            cluster.core(cid).ledger = ledger
+
+        def close_ledger(rt: Runtime) -> None:
+            # bring every app core's accounting (and with it the ledger
+            # cursor) to the finish time, then seal + conservation-check
+            for cid in scenario.app_core_ids:
+                cluster.core(cid).sync()
+            ledger.close(engine.now)
+
+        app_rt.on_finish(close_ledger)
 
     app_rt.start(scenario.iterations)
     if bg_rt is not None:

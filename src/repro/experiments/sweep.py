@@ -102,6 +102,7 @@ __all__ = [
     "summarize_result",
     "run_point",
     "run_point_audited",
+    "run_point_ledgered",
     "run_shard",
     "SweepPoint",
     "SweepSpec",
@@ -421,6 +422,36 @@ def _execute_point_audited(
     return index, summary.to_dict(), records, trace, profile, wall, f"pid:{os.getpid()}"
 
 
+def run_point_ledgered(
+    params: Mapping[str, Any], *, backend: str = "auto"
+) -> Tuple[ScenarioSummary, Dict[str, Any]]:
+    """Execute one point with a time-attribution ledger attached.
+
+    Returns ``(summary, ledger_summary)`` where ``ledger_summary`` is the
+    JSON-safe :meth:`repro.obs.ledger.TimeLedger.summary` dict. The
+    scenario summary is bit-identical to :func:`run_point`'s (the ledger
+    is strictly observational), and the ledger itself is bit-identical
+    across backends — the parity suite enforces both.
+    """
+    from repro.obs.ledger import TimeLedger
+
+    scenario = build_scenario(params)
+    ledger = TimeLedger(job="app", core_ids=scenario.app_core_ids)
+    result = run_scenario(scenario, backend=backend, ledger=ledger)
+    return summarize_result(result), ledger.summary()
+
+
+def _execute_point_ledgered(
+    payload: Tuple[int, Dict[str, Any], str],
+) -> Tuple[int, Dict[str, Any], Dict[str, Any], float, str]:
+    """Worker entry point for ledgered runs (picklable, top-level)."""
+    index, params, backend = payload
+    t0 = time.perf_counter()
+    summary, ledger = run_point_ledgered(params, backend=backend)
+    wall = time.perf_counter() - t0
+    return index, summary.to_dict(), ledger, wall, f"pid:{os.getpid()}"
+
+
 def run_shard(
     shard_points: Sequence[Tuple[int, Dict[str, Any]]],
     *,
@@ -578,7 +609,9 @@ class PointResult:
     ``worker`` identifies where it ran (``main``, ``pid:<n>``, or
     ``cache``). ``audit`` is the point's deterministic audit summary
     (see :func:`repro.telemetry.audit_summary`) when the sweep ran with
-    ``audit_dir``, else None.
+    ``audit_dir``, else None. ``ledger`` is the point's time-attribution
+    ledger summary (see :meth:`repro.obs.ledger.TimeLedger.summary`)
+    when the sweep ran with ``ledger=True``, else None.
     """
 
     index: int
@@ -590,6 +623,7 @@ class PointResult:
     wall_s: float
     worker: str
     audit: Optional[Dict[str, Any]] = None
+    ledger: Optional[Dict[str, Any]] = None
 
 
 @dataclass(frozen=True)
@@ -659,6 +693,7 @@ def run_sweep(
     driver: str = "local",
     fabric_dir: Optional[Union[str, Path]] = None,
     fabric_options: Optional[Dict[str, Any]] = None,
+    ledger: bool = False,
 ) -> SweepResult:
     """Execute every point of ``spec``; returns ordered results + metrics.
 
@@ -711,10 +746,28 @@ def run_sweep(
         Extra keyword arguments forwarded verbatim to
         :func:`~repro.experiments.fabric.run_fabric_sweep`
         (``num_shards``, ``faults``, ``lease_timeout_s``, ...).
+    ledger:
+        When True every point runs with a time-attribution ledger
+        attached (:mod:`repro.obs.ledger`): its conservation-checked
+        summary rides the :class:`PointResult`, the cache entry (as a
+        ``ledger`` extra — hits lacking one are re-executed) and the
+        registry record. Summaries stay bit-identical to un-ledgered
+        runs. Mutually exclusive with ``audit_dir`` and the fabric
+        driver.
     """
     if driver not in ("local", "fabric"):
         raise ValueError(f"unknown driver {driver!r}")
+    if ledger and audit_dir is not None:
+        raise ValueError(
+            "ledger=True and audit_dir are mutually exclusive: each "
+            "requests its own per-point instrumentation run"
+        )
     if driver == "fabric":
+        if ledger:
+            raise ValueError(
+                "ledger=True requires driver='local': ledger payloads do "
+                "not travel through shard result files"
+            )
         if audit_dir is not None:
             raise ValueError(
                 "audit_dir requires driver='local': audit trails carry "
@@ -759,12 +812,19 @@ def run_sweep(
     for p in points:
         hit = cache.get(keys[p.index]) if cache is not None else None
         cached_audit: Optional[Dict[str, Any]] = None
+        cached_ledger: Optional[Dict[str, Any]] = None
         if hit is not None and audit_path is not None:
             extras = cache.get_extras(keys[p.index])
             cached_audit = extras.get("audit") if extras else None
             if cached_audit is None:
                 # the entry predates auditing; the records must be
                 # regenerated, so treat it as a miss
+                hit = None
+        if hit is not None and ledger:
+            extras = cache.get_extras(keys[p.index])
+            cached_ledger = extras.get("ledger") if extras else None
+            if cached_ledger is None:
+                # no ledger payload cached for this entry: re-execute
                 hit = None
         if hit is not None:
             if cached_audit is not None:
@@ -782,6 +842,7 @@ def run_sweep(
                 wall_s=0.0,
                 worker="cache",
                 audit=cached_audit["summary"] if cached_audit else None,
+                ledger=cached_ledger,
             )
         else:
             misses.append(p)
@@ -812,6 +873,7 @@ def run_sweep(
         records: Optional[List[Dict[str, Any]]] = None,
         trace: Optional[TraceLog] = None,
         profile: Optional[Dict[str, Any]] = None,
+        ledger_summary: Optional[Dict[str, Any]] = None,
     ) -> None:
         audit_sum = audit_summary(records) if records is not None else None
         outcomes[p.index] = PointResult(
@@ -824,11 +886,14 @@ def run_sweep(
             wall_s=wall,
             worker=worker,
             audit=audit_sum,
+            ledger=ledger_summary,
         )
         if cache is not None:
             extras = None
             if records is not None:
                 extras = {"audit": {"summary": audit_sum, "records": records}}
+            if ledger_summary is not None:
+                extras = {**(extras or {}), "ledger": ledger_summary}
             cache.put(keys[p.index], p.params, summary.to_dict(), extras=extras)
         if audit_path is not None and records is not None:
             stem = audit_stem(p)
@@ -863,6 +928,17 @@ def run_sweep(
                 finish(
                     p, summary, time.perf_counter() - t0, "main",
                     records=records, trace=trace, profile=profile,
+                )
+        elif ledger:
+            for p in misses:
+                log.emit("point_start", label=p.label, key=keys[p.index])
+                t0 = time.perf_counter()
+                summary, ledger_sum = run_point_ledgered(
+                    p.params, backend=backend
+                )
+                finish(
+                    p, summary, time.perf_counter() - t0, "main",
+                    ledger_summary=ledger_sum,
                 )
         else:
             # one lazy shard: each next() simulates one point, so the
@@ -906,6 +982,27 @@ def run_sweep(
                         records=records,
                         trace=trace,
                         profile=profile,
+                    )
+    elif misses and ledger:
+        # ledgered pool path: per-point tasks, like the audited path —
+        # each point carries its own ledger summary back
+        with ProcessPoolExecutor(max_workers=min(workers, len(misses))) as pool:
+            futures = {}
+            for p in misses:
+                log.emit("point_start", label=p.label, key=keys[p.index])
+                task = (p.index, p.params, backend)
+                futures[pool.submit(_execute_point_ledgered, task)] = p.index
+            pending = set(futures)
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for fut in done:
+                    index, summary_dict, ledger_sum, wall, worker = fut.result()
+                    finish(
+                        by_index[index],
+                        ScenarioSummary.from_dict(summary_dict),
+                        wall,
+                        worker,
+                        ledger_summary=ledger_sum,
                     )
     elif misses:
         # the local pool is a fabric in miniature: the same shard plan
@@ -956,10 +1053,29 @@ def run_sweep(
     ordered = tuple(outcomes[p.index] for p in points)
     result = SweepResult(spec_name=spec.name, results=ordered, metrics=metrics)
     if registry is not None:
+        extra = None
+        if ledger:
+            extra = {"ledger": _ledger_aggregate(ordered)}
         record = registry.ingest_sweep(
             spec,
             result,
             artifacts={"audit_dir": audit_path} if audit_path else None,
+            extra=extra,
         )
         log.emit("run_registered", run_id=record["run_id"])
     return result
+
+
+def _ledger_aggregate(results: Sequence[PointResult]) -> Dict[str, Any]:
+    """Sweep-level roll-up of the per-point ledger summaries."""
+    summaries = [r.ledger for r in results if r.ledger is not None]
+    agg: Dict[str, Any] = {
+        "points": len(summaries),
+        "all_conserved": all(s["conserved"] for s in summaries),
+    }
+    if summaries:
+        agg["mean_fractions"] = {
+            b: sum(s["fractions"][b] for s in summaries) / len(summaries)
+            for b in summaries[0]["fractions"]
+        }
+    return agg

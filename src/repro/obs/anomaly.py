@@ -30,7 +30,18 @@ more structured :class:`Finding`\\ s with a severity:
   budget means the next such failure strands the job;
 * ``straggler-shard`` — one committed shard attempt far above this
   run's median shard wall (with history context when available): the
-  "Anticipating Load Imbalance" signal at fabric granularity.
+  "Anticipating Load Imbalance" signal at fabric granularity;
+* ``ledger-not-conserved`` — a point's time-attribution ledger
+  (:mod:`repro.obs.ledger`) failed its bit-exact conservation check:
+  the accounting itself is broken, always an error;
+* ``interference-dominated`` — a point lost more time to co-runner
+  contention than it spent computing (stolen/compute ratio): the
+  paper's motivating pathology, surfaced per point;
+* ``migration-overhead-spike`` — a point's LB-pause (migration
+  overhead) wall fraction far above the same point's history median:
+  the balancer is paying more than it used to for the same scenario;
+* ``idle-regression`` — a point's barrier-idle wall fraction far above
+  its history median: load imbalance creeping back in.
 
 Severities: ``info`` < ``warning`` < ``error``. ``repro runs check``
 exits non-zero only on ``error`` findings, so the CI anomaly gate fails
@@ -56,6 +67,7 @@ __all__ = [
     "check_history_outliers",
     "check_bench_trajectory",
     "check_fabric",
+    "check_ledger",
     "check_run",
     "max_severity",
     "has_errors",
@@ -117,6 +129,19 @@ class Thresholds:
     straggler_ratio: float = 2.0
     #: ... provided the straggler is at least this long (absolute floor).
     straggler_min_s: float = 0.05
+    #: ledger stolen/compute time ratio that warns / errors.
+    interference_warn: float = 0.5
+    interference_error: float = 1.0
+    #: ledger overhead wall-fraction ratio vs history median ...
+    lb_overhead_warn: float = 2.0
+    lb_overhead_error: float = 4.0
+    #: ... provided overhead is at least this fraction of wall (floor).
+    lb_overhead_min: float = 0.01
+    #: ledger idle wall-fraction ratio vs history median ...
+    idle_warn: float = 1.5
+    idle_error: float = 2.5
+    #: ... provided idle is at least this fraction of wall (floor).
+    idle_min: float = 0.05
 
 
 DEFAULT_THRESHOLDS = Thresholds()
@@ -528,6 +553,166 @@ def check_fabric(
 
 
 # ---------------------------------------------------------------------------
+# time-ledger rules
+# ---------------------------------------------------------------------------
+
+
+def _ledger_fraction_history(
+    history: Sequence[Mapping[str, Any]],
+    label: str,
+    params: Mapping[str, Any],
+    bucket: str,
+) -> List[float]:
+    """One ledger bucket's wall fraction across prior identical points."""
+    values: List[float] = []
+    for past in history:
+        for point in past.get("points", ()):
+            if point.get("label") != label or point.get("params") != params:
+                continue
+            ledger = point.get("ledger")
+            if not isinstance(ledger, Mapping):
+                continue
+            value = ledger.get("fractions", {}).get(bucket)
+            if isinstance(value, (int, float)):
+                values.append(float(value))
+    return values
+
+
+def check_ledger(
+    record: Mapping[str, Any],
+    history: Sequence[Mapping[str, Any]] = (),
+    thresholds: Thresholds = DEFAULT_THRESHOLDS,
+) -> List[Finding]:
+    """Time-attribution rules over points carrying ledger summaries.
+
+    Points recorded without ``sweep --ledger`` carry no ledger block and
+    produce no findings. Conservation is judged per point (an exact
+    invariant — any violation is an error); interference is judged
+    against the in-run compute time; the overhead and idle rules need
+    registry history of the identical point, like
+    :func:`check_history_outliers`.
+    """
+    findings: List[Finding] = []
+    run_id = record.get("run_id", "?")
+    enough_history = len(history) >= thresholds.min_history
+    for point in record.get("points", ()):
+        ledger = point.get("ledger")
+        if not isinstance(ledger, Mapping):
+            continue
+        label = point.get("label", "?")
+        subject = f"{run_id}:{label}"
+
+        if not ledger.get("conserved", False):
+            findings.append(
+                Finding(
+                    rule="ledger-not-conserved",
+                    severity=SEV_ERROR,
+                    subject=subject,
+                    message=(
+                        f"time ledger does not conserve: residual "
+                        f"{ledger.get('residual_s')}s out of "
+                        f"wall x cores = "
+                        f"{ledger.get('wall_s')}s x "
+                        f"{len(ledger.get('cores', ()))} — the attribution "
+                        f"accounting itself is broken"
+                    ),
+                    value=ledger.get("residual_s"),
+                    threshold=0.0,
+                )
+            )
+
+        totals = ledger.get("totals", {})
+        compute = totals.get("compute")
+        stolen = totals.get("stolen")
+        if (
+            isinstance(compute, (int, float))
+            and isinstance(stolen, (int, float))
+            and compute > 0
+        ):
+            ratio = float(stolen) / float(compute)
+            severity = _severity(
+                ratio,
+                thresholds.interference_warn,
+                thresholds.interference_error,
+            )
+            if severity is not None:
+                findings.append(
+                    Finding(
+                        rule="interference-dominated",
+                        severity=severity,
+                        subject=subject,
+                        message=(
+                            f"co-runners stole {float(stolen):.6f} core-s "
+                            f"against {float(compute):.6f} core-s of app "
+                            f"compute ({ratio:.2f}x) — interference "
+                            f"dominates this point"
+                        ),
+                        value=ratio,
+                        threshold=(
+                            thresholds.interference_error
+                            if severity == SEV_ERROR
+                            else thresholds.interference_warn
+                        ),
+                    )
+                )
+
+        if not enough_history:
+            continue
+        params = point.get("params")
+        if not isinstance(params, Mapping):
+            continue
+        fractions = ledger.get("fractions", {})
+        for bucket, rule, warn, error, floor, story in (
+            (
+                "overhead",
+                "migration-overhead-spike",
+                thresholds.lb_overhead_warn,
+                thresholds.lb_overhead_error,
+                thresholds.lb_overhead_min,
+                "the balancer pays more than it used to for the same "
+                "scenario",
+            ),
+            (
+                "idle",
+                "idle-regression",
+                thresholds.idle_warn,
+                thresholds.idle_error,
+                thresholds.idle_min,
+                "load imbalance is creeping back in",
+            ),
+        ):
+            value = fractions.get(bucket)
+            if not isinstance(value, (int, float)) or value < floor:
+                continue
+            past = _ledger_fraction_history(
+                history, label, params, bucket
+            )
+            if not past:
+                continue
+            median = _median(past)
+            if median <= 0:
+                continue
+            ratio = float(value) / median
+            severity = _severity(ratio, warn, error)
+            if severity is not None:
+                findings.append(
+                    Finding(
+                        rule=rule,
+                        severity=severity,
+                        subject=subject,
+                        message=(
+                            f"{bucket} wall fraction {float(value):.4f} is "
+                            f"{ratio:.2f}x the median of {len(past)} prior "
+                            f"run(s) ({median:.4f}) — {story}"
+                        ),
+                        value=ratio,
+                        threshold=error if severity == SEV_ERROR else warn,
+                    )
+                )
+    return findings
+
+
+# ---------------------------------------------------------------------------
 # composition
 # ---------------------------------------------------------------------------
 
@@ -543,6 +728,7 @@ def check_run(
     findings.extend(check_lb_benefit(record))
     findings.extend(check_history_outliers(record, history, thresholds))
     findings.extend(check_fabric(record, history, thresholds))
+    findings.extend(check_ledger(record, history, thresholds))
     findings.sort(key=lambda f: (-_SEV_ORDER[f.severity], f.rule, f.subject))
     return findings
 

@@ -1,0 +1,519 @@
+"""Time-attribution ledger: every simulated core-second, accounted.
+
+The stack measures end-to-end wall time and energy but — before this
+module — could not say *where* a run's time went: how much of each core's
+clock was application compute, how much was stolen by proportional-share
+interference, how much was the LB pause (decision + migration transfer),
+and how much was barrier/communication idle. :class:`TimeLedger`
+decomposes every app core's wall clock into exactly those four buckets,
+per core, per iteration and per chare, under a hard **conservation
+invariant**: the buckets sum *bit-exactly* to ``wall x cores``.
+
+Exactness
+---------
+Bit-exact conservation of separately accumulated IEEE-754 sums is
+impossible (per-bucket fold order differs from a single accumulator), so
+the ledger does not accumulate floats: every simulated timestamp is a
+float and therefore an exact dyadic rational, and the ledger accrues
+``fractions.Fraction`` arithmetic over those exact values. Each accrued
+interval contributes ``Fraction(t1) - Fraction(t0)`` split exactly among
+the buckets, intervals are required to tile each core's timeline with no
+gap or overlap (:class:`LedgerError` otherwise), and exact arithmetic is
+associative — so conservation holds by telescoping, and the event engine
+and the fast path produce **identical** ledgers even though they
+subdivide the timeline differently (per scheduling change vs. per task).
+
+Bucket semantics
+----------------
+``compute``
+    The job's proportional-share occupancy: ``dt * w_app / w_total``
+    over every interval where one of its tasks is runnable.
+``stolen``
+    The complement on those same intervals — wall time the co-runners'
+    shares took from the job (zero when the job runs alone).
+``overhead``
+    Wall time inside an LB pause window (decision overhead + migration
+    transfer) with no app task runnable.
+``idle``
+    Everything else: barrier wait, communication gaps, pre-launch time,
+    and background-only stretches.
+
+The ledger additionally tracks how much of ``overhead``/``idle`` wall
+time the core was *busy* with other jobs — the split the energy
+decomposition (:func:`repro.power.meter.decompose_energy`) attributes
+dynamic joules by.
+
+The null-hook doctrine applies: backends carry a ``ledger`` attribute
+that defaults to ``None`` and is checked once per accrual; with no
+ledger attached nothing is computed and summaries are byte-identical to
+ledger-free builds.
+"""
+
+from __future__ import annotations
+
+import bisect
+from fractions import Fraction
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "LEDGER_SCHEMA",
+    "BUCKETS",
+    "LedgerError",
+    "TimeLedger",
+    "format_ledger_text",
+]
+
+#: Version stamp carried by every ledger summary.
+LEDGER_SCHEMA = 1
+
+#: Bucket names, in reporting order.
+BUCKETS = ("compute", "stolen", "overhead", "idle")
+
+_COMPUTE, _STOLEN, _OVERHEAD, _IDLE = range(4)
+
+ChareKey = Tuple[str, int]
+
+_ZERO = Fraction(0)
+
+
+class LedgerError(RuntimeError):
+    """A ledger invariant was violated (gap, overlap, or misuse)."""
+
+
+class TimeLedger:
+    """Exact per-core/per-iteration/per-chare wall-clock attribution.
+
+    Parameters
+    ----------
+    job:
+        Owner tag of the attributed job (processes with this owner are
+        "app"; everything else is a co-runner).
+    core_ids:
+        The job's cores — the only cores the ledger accounts.
+
+    The simulation side drives four hooks:
+
+    * :meth:`accrue` — one contiguous interval of one core's timeline
+      with its (constant) runnable set;
+    * :meth:`accrue_app` — fast-path special case: the job's task ``key``
+      ran alone for the whole interval (pure compute);
+    * :meth:`mark_iteration` / :meth:`mark_pause` — iteration begin
+      times and LB pause windows (classification boundaries);
+    * :meth:`close` — seal the ledger at job completion; every core
+      must be accounted exactly to the closing time.
+    """
+
+    def __init__(self, job: str = "app", core_ids: Sequence[int] = ()) -> None:
+        self.job = job
+        self.core_ids: Tuple[int, ...] = tuple(sorted(int(c) for c in core_ids))
+        if len(set(self.core_ids)) != len(self.core_ids):
+            raise ValueError("core_ids contains duplicates")
+        self._per_core: Dict[int, List[Fraction]] = {
+            cid: [_ZERO, _ZERO, _ZERO, _ZERO] for cid in self.core_ids
+        }
+        self._busy_overhead: Dict[int, Fraction] = {
+            cid: _ZERO for cid in self.core_ids
+        }
+        self._busy_idle: Dict[int, Fraction] = {cid: _ZERO for cid in self.core_ids}
+        self._chares: Dict[ChareKey, List[Fraction]] = {}
+        self._iters: List[List[Fraction]] = []
+        self._marks: List[float] = []
+        self._pauses: List[Tuple[float, float]] = []
+        self._pause_edges: List[float] = []
+        self._cursor: Dict[int, float] = {cid: 0.0 for cid in self.core_ids}
+        self.closed_at: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # marks
+    # ------------------------------------------------------------------
+    def mark_iteration(self, iteration: int, t: float) -> None:
+        """Record that ``iteration`` begins at simulated time ``t``."""
+        if self.closed_at is not None:
+            return
+        if iteration != len(self._marks):
+            raise LedgerError(
+                f"iteration mark {iteration} out of order "
+                f"(expected {len(self._marks)})"
+            )
+        if self._marks and t < self._marks[-1]:
+            raise LedgerError("iteration marks must be non-decreasing")
+        self._marks.append(t)
+
+    def mark_pause(self, t0: float, t1: float) -> None:
+        """Record an LB pause window ``[t0, t1)`` (decision + transfer)."""
+        if self.closed_at is not None:
+            return
+        if t1 < t0:
+            raise LedgerError(f"pause window ends before it starts: {t0}..{t1}")
+        if self._pause_edges and t0 < self._pause_edges[-1]:
+            raise LedgerError("pause windows must be ordered and disjoint")
+        self._pauses.append((t0, t1))
+        self._pause_edges.append(t0)
+        self._pause_edges.append(t1)
+
+    # ------------------------------------------------------------------
+    # accrual
+    # ------------------------------------------------------------------
+    def accrue(
+        self, core_id: int, t0: float, t1: float, procs: Iterable[Any]
+    ) -> None:
+        """Attribute ``[t0, t1)`` on ``core_id`` given its runnable set.
+
+        ``procs`` is the core's (constant over the interval) runnable
+        set; each item exposes ``owner``, ``weight`` and ``key``.
+        Intervals must tile the core's timeline contiguously from 0.
+        """
+        if self.closed_at is not None:
+            return
+        if t1 <= t0:
+            return
+        cur = self._cursor[core_id]
+        if t0 != cur:
+            raise LedgerError(
+                f"core {core_id}: interval starts at {t0!r} but the core "
+                f"is accounted to {cur!r} (gap or overlap)"
+            )
+        self._cursor[core_id] = t1
+
+        total_w = _ZERO
+        app_procs: List[Tuple[ChareKey, Fraction]] = []
+        has_procs = False
+        for p in procs:
+            has_procs = True
+            w = Fraction(p.weight)
+            total_w += w
+            if p.owner == self.job:
+                app_procs.append((p.key, w))
+        app_w = _ZERO
+        for _, w in app_procs:
+            app_w += w
+
+        per_core = self._per_core[core_id]
+        chares = self._chares
+        prev = t0
+        for c in self._cuts(t0, t1):
+            if c <= prev:
+                continue
+            self._segment(
+                core_id, per_core, chares, prev, c,
+                app_procs, app_w, total_w, has_procs,
+            )
+            prev = c
+        if prev < t1:
+            self._segment(
+                core_id, per_core, chares, prev, t1,
+                app_procs, app_w, total_w, has_procs,
+            )
+
+    def accrue_app(
+        self, core_id: int, t0: float, t1: float, key: ChareKey
+    ) -> None:
+        """Attribute ``[t0, t1)`` as pure compute of chare ``key``.
+
+        Fast-path special case for a solo-running app task: the whole
+        interval is compute (share ``w/w == 1``), so no weight split is
+        needed — only iteration segmentation.
+        """
+        if self.closed_at is not None:
+            return
+        if t1 <= t0:
+            return
+        cur = self._cursor[core_id]
+        if t0 != cur:
+            raise LedgerError(
+                f"core {core_id}: interval starts at {t0!r} but the core "
+                f"is accounted to {cur!r} (gap or overlap)"
+            )
+        self._cursor[core_id] = t1
+        per_core = self._per_core[core_id]
+        entry = self._chares.get(key)
+        if entry is None:
+            entry = self._chares[key] = [_ZERO, _ZERO]
+        marks = self._marks
+        prev = t0
+        i = bisect.bisect_right(marks, t0)
+        while i < len(marks) and marks[i] < t1:
+            c = marks[i]
+            i += 1
+            if c <= prev:
+                continue
+            dt = Fraction(c) - Fraction(prev)
+            per_core[_COMPUTE] += dt
+            entry[0] += dt
+            self._iter_bucket(prev)[_COMPUTE] += dt
+            prev = c
+        dt = Fraction(t1) - Fraction(prev)
+        per_core[_COMPUTE] += dt
+        entry[0] += dt
+        self._iter_bucket(prev)[_COMPUTE] += dt
+
+    # -- internals ------------------------------------------------------
+    def _cuts(self, t0: float, t1: float) -> List[float]:
+        """Classification boundaries strictly inside ``(t0, t1)``."""
+        cuts: List[float] = []
+        marks = self._marks
+        i = bisect.bisect_right(marks, t0)
+        while i < len(marks) and marks[i] < t1:
+            cuts.append(marks[i])
+            i += 1
+        edges = self._pause_edges
+        i = bisect.bisect_right(edges, t0)
+        while i < len(edges) and edges[i] < t1:
+            cuts.append(edges[i])
+            i += 1
+        cuts.sort()
+        return cuts
+
+    def _iter_bucket(self, t: float) -> List[Fraction]:
+        idx = bisect.bisect_right(self._marks, t) - 1
+        if idx < 0:
+            idx = 0
+        iters = self._iters
+        while len(iters) <= idx:
+            iters.append([_ZERO, _ZERO, _ZERO, _ZERO])
+        return iters[idx]
+
+    def _in_pause(self, t: float) -> bool:
+        starts = self._pause_edges[::2]
+        j = bisect.bisect_right(starts, t) - 1
+        return j >= 0 and t < self._pauses[j][1]
+
+    def _segment(
+        self,
+        core_id: int,
+        per_core: List[Fraction],
+        chares: Dict[ChareKey, List[Fraction]],
+        s0: float,
+        s1: float,
+        app_procs: List[Tuple[ChareKey, Fraction]],
+        app_w: Fraction,
+        total_w: Fraction,
+        has_procs: bool,
+    ) -> None:
+        dt = Fraction(s1) - Fraction(s0)
+        it = self._iter_bucket(s0)
+        if app_procs:
+            comp = dt * app_w / total_w
+            stol = dt - comp
+            per_core[_COMPUTE] += comp
+            per_core[_STOLEN] += stol
+            it[_COMPUTE] += comp
+            it[_STOLEN] += stol
+            for key, w in app_procs:
+                entry = chares.get(key)
+                if entry is None:
+                    entry = chares[key] = [_ZERO, _ZERO]
+                c_p = dt * w / total_w
+                entry[0] += c_p
+                entry[1] += dt * w / app_w - c_p
+        else:
+            bucket = _OVERHEAD if self._in_pause(s0) else _IDLE
+            per_core[bucket] += dt
+            it[bucket] += dt
+            if has_procs:
+                if bucket == _OVERHEAD:
+                    self._busy_overhead[core_id] += dt
+                else:
+                    self._busy_idle[core_id] += dt
+
+    # ------------------------------------------------------------------
+    # closing / invariants
+    # ------------------------------------------------------------------
+    def close(self, t_end: float) -> None:
+        """Seal the ledger at job completion time ``t_end``.
+
+        Every core must be accounted exactly to ``t_end`` (the caller
+        syncs its cores first); later accruals become no-ops.
+        """
+        if self.closed_at is not None:
+            raise LedgerError("ledger already closed")
+        for cid in self.core_ids:
+            cur = self._cursor[cid]
+            if cur != t_end and t_end > 0.0:
+                raise LedgerError(
+                    f"core {cid} accounted to {cur!r}, not the closing "
+                    f"time {t_end!r} — sync the core before close()"
+                )
+        self.closed_at = t_end
+
+    @property
+    def closed(self) -> bool:
+        return self.closed_at is not None
+
+    def totals_exact(self) -> Dict[str, Fraction]:
+        """Exact bucket totals summed over every core."""
+        out = {b: _ZERO for b in BUCKETS}
+        for buckets in self._per_core.values():
+            for i, b in enumerate(BUCKETS):
+                out[b] += buckets[i]
+        return out
+
+    def busy_exact(self) -> Dict[str, Fraction]:
+        """Exact *busy* core-seconds by bucket.
+
+        Compute and stolen wall time is busy by definition; overhead and
+        idle wall time counts only the sub-intervals where co-runners
+        kept the core busy. This is the partition the energy
+        decomposition splits dynamic joules by.
+        """
+        totals = self.totals_exact()
+        return {
+            "compute": totals["compute"],
+            "stolen": totals["stolen"],
+            "overhead": sum(self._busy_overhead.values(), _ZERO),
+            "idle": sum(self._busy_idle.values(), _ZERO),
+        }
+
+    def residual_exact(self) -> Fraction:
+        """``sum(buckets) - wall x cores`` — zero iff conserved."""
+        if self.closed_at is None:
+            raise LedgerError("ledger still open — close() it first")
+        total = _ZERO
+        for v in self.totals_exact().values():
+            total += v
+        return total - Fraction(self.closed_at) * len(self.core_ids)
+
+    @property
+    def conserved(self) -> bool:
+        return self.residual_exact() == 0
+
+    # ------------------------------------------------------------------
+    # summary
+    # ------------------------------------------------------------------
+    def summary(self) -> Dict[str, Any]:
+        """JSON-safe reduction (floats derived from the exact values).
+
+        Deterministic: keys sorted, so two identical runs — and the two
+        backends — serialise byte-identically.
+        """
+        if self.closed_at is None:
+            raise LedgerError("ledger still open — close() it first")
+        wall = self.closed_at
+        totals = self.totals_exact()
+        busy = self.busy_exact()
+        denom = Fraction(wall) * len(self.core_ids)
+        residual = self.residual_exact()
+        per_iteration = []
+        for i, start in enumerate(self._marks):
+            buckets = (
+                self._iters[i] if i < len(self._iters)
+                else [_ZERO, _ZERO, _ZERO, _ZERO]
+            )
+            row = {"iteration": i, "start_s": start}
+            for j, b in enumerate(BUCKETS):
+                row[b] = float(buckets[j])
+            per_iteration.append(row)
+        chares = {}
+        for key in sorted(self._chares):
+            comp, stol = self._chares[key]
+            chares[f"{key[0]}[{key[1]}]"] = {
+                "compute": float(comp),
+                "stolen": float(stol),
+            }
+        return {
+            "schema": LEDGER_SCHEMA,
+            "job": self.job,
+            "wall_s": wall,
+            "cores": list(self.core_ids),
+            "conserved": residual == 0,
+            "residual_s": float(residual),
+            "totals": {b: float(totals[b]) for b in BUCKETS},
+            "fractions": {
+                b: (float(totals[b] / denom) if denom else 0.0) for b in BUCKETS
+            },
+            "busy": {b: float(busy[b]) for b in BUCKETS},
+            "per_core": {
+                str(cid): {
+                    b: float(self._per_core[cid][j])
+                    for j, b in enumerate(BUCKETS)
+                }
+                for cid in self.core_ids
+            },
+            "per_iteration": per_iteration,
+            "chares": chares,
+        }
+
+
+# ---------------------------------------------------------------------------
+# rendering (the `repro explain` waterfall)
+# ---------------------------------------------------------------------------
+
+#: One glyph per bucket for the per-core strips.
+_GLYPHS = {"compute": "#", "stolen": "x", "overhead": "o", "idle": "."}
+
+
+def _strip(shares: Dict[str, float], width: int) -> str:
+    """A fixed-width textual stacked bar from bucket shares (sum ~ 1)."""
+    cells: List[str] = []
+    assigned = 0
+    for i, b in enumerate(BUCKETS):
+        n = (
+            width - assigned
+            if i == len(BUCKETS) - 1
+            else int(round(shares.get(b, 0.0) * width))
+        )
+        n = max(0, min(n, width - assigned))
+        cells.append(_GLYPHS[b] * n)
+        assigned += n
+    return "".join(cells)
+
+
+def format_ledger_text(
+    summary: Dict[str, Any],
+    *,
+    label: Optional[str] = None,
+    energy: Optional[Dict[str, Any]] = None,
+    top: int = 8,
+    width: int = 44,
+) -> str:
+    """Human-readable waterfall of one ledger summary.
+
+    ``energy`` is an optional :func:`repro.power.meter.decompose_energy`
+    dict rendered as a closing line; ``top`` bounds the chare table.
+    """
+    wall = summary["wall_s"]
+    cores = summary["cores"]
+    totals = summary["totals"]
+    fractions = summary["fractions"]
+    status = "conserved" if summary["conserved"] else (
+        f"NOT CONSERVED (residual {summary['residual_s']:+.3e}s)"
+    )
+    lines = []
+    head = f"wall {wall:.6f}s x {len(cores)} cores = " \
+           f"{wall * len(cores):.6f} core-s [{status}]"
+    lines.append(f"{label}: {head}" if label else head)
+    for b in BUCKETS:
+        share = fractions[b]
+        bar = _GLYPHS[b] * max(1 if totals[b] > 0 else 0, int(round(share * width)))
+        lines.append(
+            f"  {b:<9} {totals[b]:>12.6f} core-s  {100.0 * share:5.1f}%  {bar}"
+        )
+    lines.append("  per-core waterfall (# compute, x stolen, o overhead, . idle):")
+    for cid in cores:
+        row = summary["per_core"][str(cid)]
+        denom = wall if wall > 0 else 1.0
+        shares = {b: row[b] / denom for b in BUCKETS}
+        lines.append(f"    core {cid:>3} |{_strip(shares, width)}|")
+    chares = summary.get("chares", {})
+    if chares and top > 0:
+        ranked = sorted(
+            chares.items(),
+            key=lambda kv: -(kv[1]["compute"] + kv[1]["stolen"]),
+        )[:top]
+        lines.append(f"  top {len(ranked)} chares by attributed time:")
+        for name, row in ranked:
+            lines.append(
+                f"    {name:<20} compute {row['compute']:>10.6f}s  "
+                f"stolen {row['stolen']:>10.6f}s"
+            )
+    if energy is not None:
+        buckets = energy.get("dynamic_by_bucket") or {}
+        split = ", ".join(
+            f"{b} {buckets[b]:.3f}" for b in BUCKETS if b in buckets
+        )
+        lines.append(
+            f"  energy: {energy['energy_j']:.3f} J = base {energy['base_j']:.3f} J"
+            f" + dynamic {energy['dynamic_j']:.3f} J"
+            + (f" ({split})" if split else "")
+        )
+    return "\n".join(lines)

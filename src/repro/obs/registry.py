@@ -169,6 +169,7 @@ class RunRegistry:
                 "wall_s": r.wall_s,
                 "summary": r.summary.to_dict(),
                 "audit": r.audit,
+                "ledger": r.ledger,
             }
             for r in result.results
         ]

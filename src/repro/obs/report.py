@@ -9,6 +9,9 @@ perf trajectory know:
   matched (noLB, LB) interfered pair and whether the Fig. 2 directional
   claim held;
 * the run table (``repro runs list`` in HTML);
+* time attribution for runs recorded with ``sweep --ledger``: one
+  stacked compute/stolen/overhead/idle bar per point, with its
+  conservation verdict (see :mod:`repro.obs.ledger`);
 * fabric health for distributed runs: a track-per-worker timeline strip
   of shard attempts (steals and faults colored), utilization bars, and
   steal/respawn/death counters from each run's ``fabric`` block;
@@ -222,6 +225,36 @@ def _fabric_utilization(fabric: Mapping[str, Any]) -> List[Dict[str, Any]]:
     return rows
 
 
+#: Ledger bucket fills. The row's <title> and the legend carry the same
+#: information as text, so color never stands alone.
+_BUCKET_FILL = {
+    "compute": "var(--series)",
+    "stolen": "var(--error)",
+    "overhead": "var(--warning)",
+    "idle": "var(--line)",
+}
+
+
+def _ledger_bar(fractions: Mapping[str, Any]) -> str:
+    """One stacked compute/stolen/overhead/idle bar (CSS-width divs)."""
+    parts = ['<div style="display:flex;height:12px;border-radius:4px;overflow:hidden">']
+    title = ", ".join(
+        f"{b} {float(fractions.get(b, 0.0)) * 100.0:.1f}%"
+        for b in ("compute", "stolen", "overhead", "idle")
+    )
+    for bucket, fill in _BUCKET_FILL.items():
+        frac = float(fractions.get(bucket, 0.0))
+        if frac <= 0.0:
+            continue
+        parts.append(
+            f'<div style="background:{fill};width:{frac * 100.0:.2f}%" '
+            f'role="img" aria-label="{_esc(bucket)} {frac * 100.0:.1f}%">'
+            f"<title>{_esc(title)}</title></div>"
+        )
+    parts.append("</div>")
+    return "".join(parts)
+
+
 def _sev_cell(severity: str) -> str:
     # status is icon + label, never color alone
     icons = {"error": "✖", "warning": "▲", "info": "ℹ"}
@@ -317,6 +350,24 @@ def build_report(
                 {"sweep": name, "run_id": record["run_id"], "fabric": block}
             )
 
+    # time-attribution ledgers of the latest run of each sweep
+    ledger_rows: List[Dict[str, Any]] = []
+    for name, record in sorted(latest_by_name.items()):
+        for point in record.get("points", ()):
+            ledger = point.get("ledger")
+            if not isinstance(ledger, Mapping):
+                continue
+            ledger_rows.append(
+                {
+                    "sweep": name,
+                    "run_id": record["run_id"],
+                    "label": point.get("label", "?"),
+                    "wall_s": ledger.get("wall_s"),
+                    "conserved": bool(ledger.get("conserved")),
+                    "fractions": dict(ledger.get("fractions", {})),
+                }
+            )
+
     trajectory = _load_trajectory(trajectory_dir)
     findings.extend(check_bench_trajectory(trajectory, thresholds))
 
@@ -341,6 +392,7 @@ def build_report(
         "latest_sha": git_shas[-1] if git_shas else "unknown",
         "figure_rows": figure_rows,
         "fabric_rows": fabric_rows,
+        "ledger_rows": ledger_rows,
         "trends": trends,
         "trajectory_entries": len(trajectory),
         "findings": [f.to_dict() for f in findings],
@@ -358,6 +410,7 @@ def render_report(data: Mapping[str, Any]) -> str:
     findings: Sequence[Mapping[str, Any]] = data.get("findings", ())
     figure_rows: Sequence[Mapping[str, Any]] = data.get("figure_rows", ())
     fabric_rows: Sequence[Mapping[str, Any]] = data.get("fabric_rows", ())
+    ledger_rows: Sequence[Mapping[str, Any]] = data.get("ledger_rows", ())
     trends: Mapping[str, Mapping[str, Any]] = data.get("trends", {})
     errors = sum(1 for f in findings if f.get("severity") == "error")
     warnings = sum(1 for f in findings if f.get("severity") == "warning")
@@ -416,6 +469,43 @@ def render_report(data: Mapping[str, Any]) -> str:
         out.append(
             '<p class="muted">No interfered LB/noLB pairs in the latest '
             "registered runs.</p>"
+        )
+
+    # time attribution
+    out.append("<h2>Time attribution (sweep --ledger)</h2>")
+    if ledger_rows:
+        out.append(
+            '<p class="muted">Every core-second of every point, '
+            "attributed: compute / stolen / overhead / idle "
+            "(conservation is bit-exact — <code>repro explain</code> "
+            "shows the per-core waterfall).</p>"
+        )
+        out.append(
+            "<table><thead><tr><th>sweep</th><th>point</th>"
+            '<th style="width:40%">compute / stolen / overhead / idle</th>'
+            '<th class="num">wall (s)</th><th>conserved</th>'
+            "</tr></thead><tbody>"
+        )
+        for row in ledger_rows:
+            status = (
+                '<span class="ok">✓ exact</span>'
+                if row["conserved"]
+                else '<span class="sev-error">✖ violated</span>'
+            )
+            wall = row.get("wall_s")
+            wall_txt = f"{float(wall):.6f}" if isinstance(wall, (int, float)) else "-"
+            out.append(
+                f"<tr><td>{_esc(row['sweep'])}</td>"
+                f"<td><code>{_esc(row['label'])}</code></td>"
+                f"<td>{_ledger_bar(row.get('fractions', {}))}</td>"
+                f'<td class="num">{wall_txt}</td>'
+                f"<td>{status}</td></tr>"
+            )
+        out.append("</tbody></table>")
+    else:
+        out.append(
+            '<p class="muted">No ledger-carrying runs registered (run '
+            "<code>repro sweep --ledger</code>).</p>"
         )
 
     # run table

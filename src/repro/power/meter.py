@@ -19,7 +19,8 @@ Typical usage::
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from fractions import Fraction
+from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -28,7 +29,12 @@ from repro.cluster.node import Node
 from repro.power.model import PowerModel
 from repro.util import check_positive
 
-__all__ = ["EnergyReading", "PowerMeter"]
+__all__ = [
+    "EnergyReading",
+    "PowerMeter",
+    "decompose_energy",
+    "exact_dynamic_split",
+]
 
 
 @dataclass(frozen=True)
@@ -145,3 +151,65 @@ class PowerMeter:
             )
         base = len(self.nodes) * self.model.base_w
         return base + self.model.dynamic_per_core_w * busy_per_bin / dt
+
+
+# ---------------------------------------------------------------------------
+# energy decomposition (the ledger's joule attribution)
+# ---------------------------------------------------------------------------
+def exact_dynamic_split(
+    dynamic_j: float, busy_by_bucket: Mapping[str, Any]
+) -> Dict[str, Fraction]:
+    """Split dynamic joules across ledger buckets, exactly.
+
+    ``busy_by_bucket`` maps bucket name -> busy core-seconds (float or
+    Fraction, e.g. :meth:`repro.obs.ledger.TimeLedger.busy_exact`). The
+    shares are ``dynamic_j * busy_b / total_busy`` in exact rational
+    arithmetic, so they sum to ``Fraction(dynamic_j)`` with zero residue.
+    All-zero busy time yields all-zero shares.
+    """
+    busy = {b: Fraction(v) for b, v in busy_by_bucket.items()}
+    total = sum(busy.values(), Fraction(0))
+    if total == 0:
+        return {b: Fraction(0) for b in busy}
+    dyn = Fraction(dynamic_j)
+    return {b: dyn * v / total for b, v in busy.items()}
+
+
+def decompose_energy(
+    model: PowerModel,
+    *,
+    duration_s: float,
+    busy_core_seconds: float,
+    nodes: int,
+    busy_by_bucket: Optional[Mapping[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Decompose an energy window into base/dynamic (and ledger buckets).
+
+    The base and dynamic terms use :meth:`PowerModel.base_energy` /
+    :meth:`PowerModel.dynamic_energy`, which mirror :meth:`PowerModel.
+    energy` operand for operand — so ``base_j + dynamic_j`` reconciles
+    **bit-exactly** with the ``energy_j`` a :class:`PowerMeter` reading
+    reports for the same window (including the empty-window 0.0 special
+    case).
+
+    With ``busy_by_bucket`` (the ledger's exact busy split), the dynamic
+    term is further attributed per bucket via :func:`exact_dynamic_split`;
+    the returned per-bucket floats are rounded from exact shares that sum
+    to the dynamic term with zero residue.
+    """
+    if duration_s > 0:
+        base_j = model.base_energy(duration_s, nodes)
+        dynamic_j = model.dynamic_energy(busy_core_seconds)
+    else:
+        base_j = 0.0
+        dynamic_j = 0.0
+    out: Dict[str, Any] = {
+        "energy_j": base_j + dynamic_j,
+        "base_j": base_j,
+        "dynamic_j": dynamic_j,
+        "dynamic_by_bucket": None,
+    }
+    if busy_by_bucket is not None:
+        shares = exact_dynamic_split(dynamic_j, busy_by_bucket)
+        out["dynamic_by_bucket"] = {b: float(v) for b, v in shares.items()}
+    return out

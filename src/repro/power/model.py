@@ -89,3 +89,19 @@ class PowerModel:
                 f"{busy_core_seconds} > {duration_s * nodes * self.cores_per_node}"
             )
         return nodes * self.base_w * duration_s + self.dynamic_per_core_w * busy_core_seconds
+
+    def base_energy(self, duration_s: float, nodes: int) -> float:
+        """The utilisation-independent term of :meth:`energy`.
+
+        The expression mirrors :meth:`energy`'s first addend operand for
+        operand, so ``base_energy(T, n) + dynamic_energy(b)`` equals
+        ``energy(T, b, n)`` bit-exactly.
+        """
+        check_non_negative("duration_s", duration_s)
+        check_positive("nodes", nodes)
+        return nodes * self.base_w * duration_s
+
+    def dynamic_energy(self, busy_core_seconds: float) -> float:
+        """The busy-core term of :meth:`energy` (same bit-exact mirror)."""
+        check_non_negative("busy_core_seconds", busy_core_seconds)
+        return self.dynamic_per_core_w * busy_core_seconds

@@ -18,7 +18,12 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
 from repro.perf.profiler import PhaseProfiler, phase_trace_events
 from repro.runtime.tracing import TraceLog
 
-__all__ = ["to_trace_events", "audit_counter_events", "write_chrome_trace"]
+__all__ = [
+    "to_trace_events",
+    "audit_counter_events",
+    "ledger_counter_events",
+    "write_chrome_trace",
+]
 
 _US = 1e6  # seconds -> microseconds
 
@@ -163,6 +168,42 @@ def audit_counter_events(
     return events
 
 
+def ledger_counter_events(
+    summary: Mapping[str, Any],
+    *,
+    pid: int = 1,
+) -> List[Dict[str, Any]]:
+    """Perfetto counter ("C") tracks from a time-ledger summary.
+
+    One ``time ledger (core-s)`` sample per application iteration, with
+    the four attribution buckets (compute / stolen / overhead / idle) as
+    stacked series — the viewer renders them as one area chart, so phase
+    changes (an interfering job arriving, an LB step paying off) show up
+    as visible re-slicing of the per-iteration core-seconds.
+
+    ``summary`` is :meth:`repro.obs.ledger.TimeLedger.summary` output (or
+    the equal dict stored on cache entries / registry points).
+    """
+    events: List[Dict[str, Any]] = []
+    for row in summary.get("per_iteration", ()):
+        events.append(
+            {
+                "name": "time ledger (core-s)",
+                "cat": "ledger",
+                "ph": "C",
+                "pid": pid,
+                "ts": float(row["start_s"]) * _US,
+                "args": {
+                    "compute": row["compute"],
+                    "stolen": row["stolen"],
+                    "overhead": row["overhead"],
+                    "idle": row["idle"],
+                },
+            }
+        )
+    return events
+
+
 def write_chrome_trace(
     trace: TraceLog,
     path: str,
@@ -171,22 +212,27 @@ def write_chrome_trace(
     extra: Optional[Sequence[TraceLog]] = None,
     audit: Optional[Sequence[Mapping[str, Any]]] = None,
     profile: Optional[Union[PhaseProfiler, Mapping[str, Any]]] = None,
+    ledger: Optional[Mapping[str, Any]] = None,
 ) -> int:
     """Write ``trace`` (plus optional co-scheduled jobs) as JSON.
 
     Returns the number of events written. ``extra`` traces get their own
     process lanes (pid 2, 3, ...); ``audit`` records add counter tracks
     (per-core load, O_p estimated/true, cumulative migrations) to the
-    main job's lane; ``profile`` (a :class:`PhaseProfiler` or its
-    exported dict) adds the host wall-clock phase breakdown as its own
-    process lane. Simulated-time and host-time lanes share one timeline
-    axis but not an origin — compare durations, not positions.
+    main job's lane; ``ledger`` (a time-ledger summary dict) adds the
+    per-iteration attribution buckets as one stacked counter track;
+    ``profile`` (a :class:`PhaseProfiler` or its exported dict) adds the
+    host wall-clock phase breakdown as its own process lane.
+    Simulated-time and host-time lanes share one timeline axis but not
+    an origin — compare durations, not positions.
     """
     events = to_trace_events(trace, job_name=job_name, pid=1)
     for i, other in enumerate(extra or (), start=2):
         events.extend(to_trace_events(other, job_name=f"job-{i}", pid=i))
     if audit:
         events.extend(audit_counter_events(audit, pid=1))
+    if ledger is not None:
+        events.extend(ledger_counter_events(ledger, pid=1))
     if profile is not None:
         events.extend(phase_trace_events(profile))
     with open(path, "w") as fh:

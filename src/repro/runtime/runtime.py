@@ -250,6 +250,10 @@ class Runtime:
         self.trace = TraceLog(enabled=tracing)
         self.run_kernels = bool(run_kernels)
         self.telemetry = telemetry
+        #: optional :class:`~repro.obs.ledger.TimeLedger` fed iteration
+        #: marks and LB pause windows (null hook: None by default;
+        #: attached externally by the experiment runner)
+        self.ledger = None
         if telemetry is not None and balancer is not None:
             balancer.attach_telemetry(telemetry)
         # per-core true injected background CPU at the current LB window's
@@ -396,6 +400,8 @@ class Runtime:
     # iteration machinery
     # ------------------------------------------------------------------
     def _begin_iteration(self, iteration: int) -> None:
+        if self.ledger is not None:
+            self.ledger.mark_iteration(iteration, self.engine.now)
         self._iteration = iteration
         self._iter_started = self.engine.now
         self._iter_core_wall = {cid: 0.0 for cid in self.core_ids}
@@ -552,6 +558,11 @@ class Runtime:
             cost,
         )
         pause = self.policy.decision_overhead_s + cost
+        if self.ledger is not None:
+            # `now + pause` mirrors schedule_after's `_now + delay`, so
+            # the window boundary is the same float in both backends
+            now = self.engine.now
+            self.ledger.mark_pause(now, now + pause)
         self.engine.schedule_after(pause, self._begin_iteration, next_iteration)
 
     # ------------------------------------------------------------------

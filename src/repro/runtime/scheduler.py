@@ -90,6 +90,7 @@ class CoreScheduler:
             weight=self.weight,
             owner=self.owner,
             on_complete=self._task_complete,
+            key=msg.chare,
         )
         self.core.dispatch(proc)
 

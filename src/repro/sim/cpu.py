@@ -97,6 +97,9 @@ class SharedCore:
         self.idle_time: float = 0.0
         self.cpu_by_owner: Dict[str, float] = {}
         self.dispatch_count: int = 0
+        #: optional :class:`~repro.obs.ledger.TimeLedger` (null hook:
+        #: None by default — a single identity check per accrual)
+        self.ledger = None
 
         self.record_intervals = record_intervals
         #: list of (start, end, concurrency) busy intervals, if recording
@@ -177,6 +180,10 @@ class SharedCore:
         if dt < 0:  # pragma: no cover - engine guarantees monotonic time
             raise RuntimeError("time moved backwards")
         if dt > 0.0:
+            if self.ledger is not None:
+                self.ledger.accrue(
+                    self.core_id, self._last_accrual, now, self._runnable.values()
+                )
             if self._runnable:
                 self.busy_time += dt
                 total_w = self.total_weight

@@ -196,7 +196,7 @@ class _FastCore:
     __slots__ = (
         "engine", "core_id", "speed", "busy_time", "idle_time",
         "cpu_by_owner", "last", "procs", "version", "jobs", "readers",
-        "_cand_proc", "_cand_sched",
+        "ledger", "_cand_proc", "_cand_sched",
     )
 
     def __init__(self, sim: _FastSim, core_id: int) -> None:
@@ -211,6 +211,8 @@ class _FastCore:
         self.version = 0
         self.jobs: List["_FastJob"] = []
         self.readers: List["_FastJob"] = []
+        #: optional TimeLedger (null hook, mirrors SharedCore.ledger)
+        self.ledger = None
         self._cand_proc = 0
         self._cand_sched = 0.0
 
@@ -225,6 +227,8 @@ class _FastCore:
     def accrue(self, now: float) -> None:
         dt = now - self.last
         if dt > 0.0:
+            if self.ledger is not None:
+                self.ledger.accrue(self.core_id, self.last, now, self.procs)
             procs = self.procs
             n = len(procs)
             if n == 1:
@@ -448,6 +452,8 @@ class _FastJob:
         self._bg_window_base: Dict[int, float] = {}
         #: the run's other jobs (set by the driver; gates batched mode)
         self.others: List["_FastJob"] = []
+        #: optional TimeLedger (null hook, mirrors Runtime.ledger)
+        self.ledger = None
         self._on_finish: List[Callable[["_FastJob"], None]] = []
         # per-iteration completion buffer: (end, sched, core_rank, cpu).
         # Sorted at the barrier, this reproduces the engine's chronological
@@ -555,6 +561,8 @@ class _FastJob:
         if self._batchable():
             self._run_batched(iteration, T)
             return
+        if self.ledger is not None:
+            self.ledger.mark_iteration(iteration, T)
         self._iteration = iteration
         self._iter_started = T
         self._iter_core_wall = {cid: 0.0 for cid in self.core_ids}
@@ -592,6 +600,7 @@ class _FastJob:
         completion event (solo share is exactly 1.0, so each task's
         accrued CPU equals ``end_k - end_{k-1}``).
         """
+        led = self.ledger
         if len(chs) == 1:
             # one task per core — the shape of every batched background
             # iteration; same arithmetic as the scalar fold below, minus
@@ -604,6 +613,9 @@ class _FastJob:
                 )
             dt = T - core.last
             if dt > 0.0:
+                if led is not None:
+                    # no runnable procs in the gap: idle, or LB pause
+                    led.accrue(cid, core.last, T, ())
                 core.idle_time += dt
             cbo = core.cpu_by_owner
             name = self.name
@@ -635,6 +647,9 @@ class _FastJob:
             core.busy_time = busy
             cbo[name] = own
             core.last = t
+            if led is not None:
+                # the task ran alone: the whole interval is its compute
+                led.accrue_app(cid, T, t, k)
             self._iter_core_wall[cid] = t - T
             return t
         work = []
@@ -647,6 +662,8 @@ class _FastJob:
             work.append(d)
         dt = T - core.last
         if dt > 0.0:  # idle gap since the core's last activity
+            if led is not None:
+                led.accrue(cid, core.last, T, ())
             core.idle_time += dt
         name = self.name
         # accumulate straight into the LB database's window dict — the
@@ -681,6 +698,8 @@ class _FastJob:
                     tc[k] = tc_get(k, 0.0) + c
                     wall += c  # == e - prev bit-for-bit
                     comps.append((e, prev, rank, c))
+                    if led is not None:
+                        led.accrue_app(cid, prev, e, k)
                     prev = e
                 core.busy_time = busy
                 core.cpu_by_owner[name] = own
@@ -718,6 +737,8 @@ class _FastJob:
             tc[k] = tc_get(k, 0.0) + cpu
             wall += t - start
             comps.append((t, sched, rank, cpu))
+            if led is not None:
+                led.accrue_app(cid, start, t, k)
         core.busy_time = busy
         core.cpu_by_owner[name] = own
         core.last = t
@@ -827,7 +848,10 @@ class _FastJob:
         sim = self.sim
         core_ids = self.core_ids
         cores = self.cores
+        ledger = self.ledger
         while True:
+            if ledger is not None:
+                ledger.mark_iteration(iteration, T)
             self._iteration = iteration
             self._iter_started = T
             self._iter_core_wall = {cid: 0.0 for cid in core_ids}
@@ -855,7 +879,10 @@ class _FastJob:
                 self._last_lb_completed = completed
                 t_lb = t + delay
                 sim.now = t_lb
-                T = t_lb + self._do_lb(completed)
+                pause = self._do_lb(completed)
+                if ledger is not None:
+                    ledger.mark_pause(t_lb, t_lb + pause)
+                T = t_lb + pause
             else:
                 T = t + delay
             iteration = completed
@@ -874,6 +901,8 @@ class _FastJob:
     # ------------------------------------------------------------------
     def _lb_step(self, next_iteration: int, t: float) -> None:
         pause = self._do_lb(next_iteration)
+        if self.ledger is not None:
+            self.ledger.mark_pause(t, t + pause)
         self.sim.push(t + pause, _EV_BEGIN, self, next_iteration)
 
     def _do_lb(self, next_iteration: int) -> float:
@@ -950,9 +979,13 @@ class _FastJob:
 # scenario driver
 # ----------------------------------------------------------------------
 def run_scenario_fast(
-    scenario: Scenario, *, telemetry: Optional[Telemetry] = None
+    scenario: Scenario, *, telemetry: Optional[Telemetry] = None, ledger=None
 ):
     """Execute ``scenario`` on the fast path (see module docstring).
+
+    ``ledger`` optionally attaches a
+    :class:`~repro.obs.ledger.TimeLedger` over the application's cores;
+    it is closed at application finish, after the energy reading.
 
     Returns the same :class:`~repro.experiments.runner.ExperimentResult`
     as :func:`~repro.experiments.runner.run_scenario`, bit-identical.
@@ -1074,6 +1107,22 @@ def run_scenario_fast(
 
     app._energy_reading = None
     app._on_finish.append(reading_at_app_end)
+
+    if ledger is not None:
+        app.ledger = ledger
+        for cid in scenario.app_core_ids:
+            cores[cid].ledger = ledger
+
+        def close_ledger(job) -> None:
+            # runs after reading_at_app_end, which already accrued every
+            # core of the app's nodes to sim.now — every cursor is at the
+            # finish time, so the conservation check is total
+            now = sim.now
+            for cid in scenario.app_core_ids:
+                cores[cid].accrue(now)
+            ledger.close(now)
+
+        app._on_finish.append(close_ledger)
 
     app.start(scenario.iterations)
     if bg is not None:

@@ -59,6 +59,10 @@ class SimProcess:
         how the synthesized ``/proc/stat`` attributes time.
     on_complete:
         Callback invoked (with this process) when demand reaches zero.
+    key:
+        Optional chare identity ``(collection_name, index)`` this process
+        executes on behalf of — the attribution handle the time ledger
+        charges compute/stolen time to.
     """
 
     __slots__ = (
@@ -68,6 +72,7 @@ class SimProcess:
         "weight",
         "owner",
         "on_complete",
+        "key",
         "state",
         "cpu_time",
         "started_at",
@@ -82,6 +87,7 @@ class SimProcess:
         weight: float = 1.0,
         owner: str = "anonymous",
         on_complete: Optional[Callable[["SimProcess"], None]] = None,
+        key: Optional[tuple] = None,
     ) -> None:
         check_non_negative("demand", demand)
         check_positive("weight", weight)
@@ -91,6 +97,7 @@ class SimProcess:
         self.weight = float(weight)
         self.owner = owner
         self.on_complete = on_complete
+        self.key = key
         self.state = ProcessState.NEW
         self.cpu_time: float = 0.0       #: CPU-seconds consumed so far
         self.started_at: Optional[float] = None    #: first dispatch time

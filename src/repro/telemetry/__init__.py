@@ -32,6 +32,7 @@ from repro.telemetry.audit import (
     audit_summary,
     read_audit_jsonl,
     write_audit_jsonl,
+    write_json_artifact,
 )
 from repro.telemetry.registry import (
     DEFAULT_DURATION_BUCKETS_S,
@@ -54,6 +55,7 @@ __all__ = [
     "audit_summary",
     "read_audit_jsonl",
     "write_audit_jsonl",
+    "write_json_artifact",
     "AUDIT_SCHEMA",
     "ACCEPTED",
     "REJECTED",

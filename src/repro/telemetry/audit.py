@@ -48,6 +48,7 @@ __all__ = [
     "REASON_GAIN_BELOW_COST",
     "AuditTrail",
     "write_audit_jsonl",
+    "write_json_artifact",
     "read_audit_jsonl",
     "audit_summary",
 ]
@@ -218,6 +219,32 @@ def write_audit_jsonl(records: Iterable[Mapping[str, Any]], path: Union[str, "Pa
             pass
         raise
     return n
+
+
+def write_json_artifact(payload: Mapping[str, Any], path: Union[str, "Path"]) -> str:
+    """Atomically write one JSON artifact (sorted keys, trailing newline).
+
+    Same tmp-sibling + rename discipline as :func:`write_audit_jsonl`:
+    readers either see the complete artifact or none at all. Used for
+    single-document observability payloads (ledger summaries, explain
+    output) that ride next to audit trails. Returns the final path.
+    """
+    path = os.fspath(path)
+    fd, tmp = tempfile.mkstemp(
+        dir=os.path.dirname(path) or ".", suffix=".json.tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as fh:
+            json.dump(payload, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path
 
 
 def read_audit_jsonl(path: Union[str, "Path"]) -> List[Dict[str, Any]]:

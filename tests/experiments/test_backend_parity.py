@@ -17,6 +17,7 @@ from hypothesis import strategies as st
 from repro.experiments.runner import run_scenario
 from repro.experiments.sweep import build_scenario, run_point, run_sweep
 from repro.experiments.sweep_presets import smoke_spec
+from repro.obs.ledger import TimeLedger
 from repro.sim.fastpath import FastpathUnsupported, fastpath_unsupported_reason
 from repro.telemetry import Telemetry
 
@@ -28,6 +29,23 @@ def _run_both(params, telemetry=False):
     res_e = run_scenario(build_scenario(params), backend="events", telemetry=tel_e)
     res_f = run_scenario(build_scenario(params), backend="fast", telemetry=tel_f)
     return res_e, res_f, tel_e, tel_f
+
+
+def _run_both_ledgered(params):
+    """Run one param dict on both backends with a ledger attached each."""
+    scenario = build_scenario(params)
+    led_e = TimeLedger(job="app", core_ids=scenario.app_core_ids)
+    led_f = TimeLedger(job="app", core_ids=scenario.app_core_ids)
+    res_e = run_scenario(build_scenario(params), backend="events", ledger=led_e)
+    res_f = run_scenario(build_scenario(params), backend="fast", ledger=led_f)
+    return res_e, res_f, led_e, led_f
+
+
+def _assert_ledgers_identical(led_e, led_f):
+    """Exact (Fraction-level and summary-level) ledger equality."""
+    assert led_e.totals_exact() == led_f.totals_exact()
+    assert led_e.busy_exact() == led_f.busy_exact()
+    assert led_e.summary() == led_f.summary()
 
 
 def _assert_results_identical(res_e, res_f):
@@ -143,6 +161,38 @@ class TestTelemetryParity:
         _assert_results_identical(bare, instrumented)
 
 
+class TestLedgerParity:
+    """The time-attribution ledger is part of the parity contract."""
+
+    @pytest.mark.parametrize(
+        "point", smoke_spec().expand(), ids=lambda p: p.label
+    )
+    def test_smoke_point_ledgers_identical(self, point):
+        res_e, res_f, led_e, led_f = _run_both_ledgered(point.params)
+        _assert_results_identical(res_e, res_f)
+        _assert_ledgers_identical(led_e, led_f)
+        assert led_e.conserved and led_e.residual_exact() == 0
+
+    def test_ledger_does_not_change_results(self):
+        params = {
+            "app": "jacobi2d",
+            "scale": 0.05,
+            "iterations": 8,
+            "cores": 4,
+            "bg": True,
+            "balancer": "refine-vm",
+        }
+        for backend in ("events", "fast"):
+            bare = run_scenario(build_scenario(params), backend=backend)
+            sc = build_scenario(params)
+            ledgered = run_scenario(
+                sc,
+                backend=backend,
+                ledger=TimeLedger(job="app", core_ids=sc.app_core_ids),
+            )
+            _assert_results_identical(bare, ledgered)
+
+
 class TestBackendSelection:
     def test_unknown_backend_rejected(self):
         params = {"app": "jacobi2d", "scale": 0.05, "iterations": 2, "cores": 4}
@@ -214,3 +264,16 @@ def test_random_scenarios_bit_identical(params):
     # implies it, but make NaN-freedom explicit)
     for a, b in zip(res_e.app.iteration_times, res_f.app.iteration_times):
         assert a == b and not math.isnan(a)
+
+
+@settings(max_examples=15, deadline=None)
+@given(params=_scenario_params)
+def test_random_scenarios_ledger_conserved_and_identical(params):
+    """Conservation is exact (Fraction residual == 0) on both backends,
+    and the two backends produce bit-identical ledgers."""
+    res_e, res_f, led_e, led_f = _run_both_ledgered(params)
+    _assert_results_identical(res_e, res_f)
+    _assert_ledgers_identical(led_e, led_f)
+    assert led_e.conserved
+    assert led_e.residual_exact() == 0
+    assert led_f.residual_exact() == 0
