@@ -18,7 +18,9 @@ writing code::
     python -m repro runs list
     python -m repro runs check latest
     python -m repro sweep --preset smoke --ledger
+    python -m repro sweep --preset smoke --lineage
     python -m repro explain latest
+    python -m repro lineage latest
     python -m repro report
     python -m repro bench --suite micro
     python -m repro bench --compare benchmarks/trajectory/baseline.json
@@ -204,6 +206,14 @@ def build_parser() -> argparse.ArgumentParser:
         "(repro.obs.ledger): conservation-checked summaries ride the "
         "results, the cache and the registry; inspect them with "
         "'repro explain' (incompatible with --audit)",
+    )
+    psw.add_argument(
+        "--lineage", action="store_true",
+        help="run every point with a chare-lineage recorder "
+        "(repro.obs.lineage): per-chare load samples, migration "
+        "residencies, imbalance metrics and counterfactual LB bounds "
+        "ride the results, the cache and the registry; inspect them "
+        "with 'repro lineage' (incompatible with --audit and --ledger)",
     )
     psw.add_argument(
         "--live", action="store_true",
@@ -444,6 +454,11 @@ def build_parser() -> argparse.ArgumentParser:
         "ref", metavar="REF",
         help="run id, unique prefix, 'latest', or 'latest:<name>'",
     )
+    prs.add_argument(
+        "--json", action="store_true",
+        help="emit the record as pure JSON (no stderr summaries), "
+        "for parity with 'runs list --json'",
+    )
     prd = runs_sub.add_parser("diff", help="compare two runs point by point")
     prd.add_argument("ref_a", metavar="REF_A", help="baseline run ref")
     prd.add_argument("ref_b", metavar="REF_B", help="candidate run ref")
@@ -513,6 +528,60 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", type=Path, default=None, metavar="DIR",
         help="also write the waterfall into DIR/explain.txt "
         "(DIR/explain.json with --json)",
+    )
+
+    pln = sub.add_parser(
+        "lineage",
+        help="per-chare load lineage: migration flow, imbalance metrics "
+        "and counterfactual LB bounds for a registered run",
+    )
+    pln.add_argument(
+        "ref", nargs="?", default="latest", metavar="REF",
+        help="run id, unique prefix, 'latest', or 'latest:<name>' "
+        "(default: latest)",
+    )
+    pln.add_argument(
+        "--registry", type=Path, default=None, metavar="DIR",
+        help="run registry location (default: results/registry, or "
+        "$REPRO_REGISTRY_DIR)",
+    )
+    pln.add_argument(
+        "--point", default=None, metavar="SUBSTR",
+        help="only show points whose label contains SUBSTR "
+        "(default: every point of the run)",
+    )
+    pln.add_argument(
+        "--backend",
+        choices=["auto", "events", "fast"],
+        default="auto",
+        help="backend used when a point's lineage must be recomputed "
+        "(runs recorded without 'sweep --lineage'; payloads are "
+        "bit-identical across backends)",
+    )
+    ln_fmt = pln.add_mutually_exclusive_group()
+    ln_fmt.add_argument(
+        "--json", action="store_true",
+        help="emit the lineage payloads as JSON instead of text",
+    )
+    ln_fmt.add_argument(
+        "--dot", action="store_true",
+        help="emit the migration-flow graph(s) as GraphViz DOT "
+        "instead of text",
+    )
+    pln.add_argument(
+        "--perfetto", type=Path, default=None, metavar="DIR",
+        help="also write one Chrome/Perfetto trace per point (λ/CoV/"
+        "Gini + per-core load counter tracks) into DIR",
+    )
+    pln.add_argument(
+        "--check", action="store_true",
+        help="exit 1 unless every LB step is sane (oracle bound <= "
+        "observed <= no-LB replay) — the CI counterfactual gate",
+    )
+    pln.add_argument(
+        "--output", type=Path, default=None, metavar="DIR",
+        help="also write the result into DIR/lineage.txt "
+        "(DIR/lineage.json with --json, DIR/lineage.dot with --dot)",
     )
 
     pb = sub.add_parser(
@@ -761,6 +830,20 @@ def _cmd_sweep(args) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.lineage and args.audit is not None:
+        print(
+            "repro sweep: error: --lineage and --audit are mutually "
+            "exclusive",
+            file=sys.stderr,
+        )
+        return 2
+    if args.lineage and args.ledger:
+        print(
+            "repro sweep: error: --lineage and --ledger are mutually "
+            "exclusive",
+            file=sys.stderr,
+        )
+        return 2
     cache = None
     if not args.no_cache:
         cache = ResultCache(args.cache_dir or default_cache_dir())
@@ -792,6 +875,7 @@ def _cmd_sweep(args) -> int:
             registry=registry,
             backend=args.backend,
             ledger=args.ledger,
+            lineage=args.lineage,
         )
     finally:
         if jsonl_stream is not None:
@@ -1128,13 +1212,19 @@ def _cmd_watch(args) -> int:
             file=sys.stderr,
         )
         return 2
-    return watch_file(
-        args.path,
-        follow=args.follow,
-        interval=args.interval,
-        timeout_s=args.timeout,
-        require_finished=args.replay,
-    )
+    try:
+        return watch_file(
+            args.path,
+            follow=args.follow,
+            interval=args.interval,
+            timeout_s=args.timeout,
+            require_finished=args.replay,
+        )
+    except (ValueError, OSError) as exc:
+        # missing file/directory, unreadable events — one clean line on
+        # stderr, never a traceback (matches 'repro inspect')
+        print(f"repro watch: error: {exc}", file=sys.stderr)
+        return 1
 
 
 def _cmd_report(args) -> int:
@@ -1217,7 +1307,7 @@ def _cmd_runs(args) -> int:
             record = registry.load(args.ref)
             print(json.dumps(record, indent=1, sort_keys=True))
             fabric = record.get("fabric")
-            if isinstance(fabric, dict):
+            if isinstance(fabric, dict) and not args.json:
                 # human-readable summary on stderr; stdout stays pure JSON
                 print(
                     "[fabric: {w} worker(s), {s} shard(s), "
@@ -1405,6 +1495,133 @@ def _cmd_explain(args) -> int:
     return 1 if violations else 0
 
 
+def _cmd_lineage(args) -> int:
+    import json
+
+    from repro.experiments.sweep import run_point_lineaged
+    from repro.obs.lineage import format_lineage_text, lineage_dot
+    from repro.obs.registry import RunRegistry, default_registry_dir
+
+    registry = RunRegistry(args.registry or default_registry_dir())
+    try:
+        record = registry.load(args.ref)
+    except (ValueError, OSError) as exc:
+        print(f"repro lineage: error: {exc}", file=sys.stderr)
+        return 2
+    if record.get("kind") != "sweep":
+        print(
+            f"repro lineage: error: run {record['run_id']} is a "
+            f"{record.get('kind', '?')} run; only sweep runs carry "
+            "per-point lineage",
+            file=sys.stderr,
+        )
+        return 2
+    points = [
+        p
+        for p in record.get("points", ())
+        if args.point is None or args.point in p.get("label", "")
+    ]
+    if not points:
+        print(
+            f"repro lineage: error: no point of run {record['run_id']} "
+            f"matches {args.point!r}",
+            file=sys.stderr,
+        )
+        return 2
+
+    sections: List[str] = []
+    dots: List[str] = []
+    payload: List[dict] = []
+    violations: List[str] = []
+    insane: List[str] = []
+    for p in points:
+        lineage = p.get("lineage")
+        recomputed = lineage is None
+        if recomputed:
+            # the sweep ran without --lineage: re-execute this point
+            # with a recorder attached (identical summary, bit-identical
+            # lineage payload on either backend)
+            try:
+                _, lineage = run_point_lineaged(
+                    p["params"], backend=args.backend
+                )
+            except (ValueError, KeyError) as exc:
+                print(f"repro lineage: error: {exc}", file=sys.stderr)
+                return 2
+        for step in lineage["steps"]:
+            # oracle <= observed holds by construction (mean <= max);
+            # a violation is a library bug, not a bad balancer
+            if step["oracle_max_s"] > step["observed_max_s"]:
+                violations.append(
+                    f"{p['label']} step {step['step']}: oracle bound "
+                    f"{step['oracle_max_s']} > observed "
+                    f"{step['observed_max_s']}"
+                )
+            if not step["sane"]:
+                insane.append(
+                    f"{p['label']} step {step['step']}: observed "
+                    f"{step['observed_max_s']} > no-LB replay "
+                    f"{step['nolb_max_s']}"
+                )
+        sections.append(format_lineage_text(lineage, label=p["label"]))
+        dots.append(lineage_dot(lineage))
+        payload.append(
+            {
+                "label": p["label"],
+                "params": p["params"],
+                "recomputed": recomputed,
+                "lineage": lineage,
+            }
+        )
+        if args.perfetto is not None:
+            from repro.projections.export import write_chrome_trace
+            from repro.runtime.tracing import TraceLog
+
+            args.perfetto.mkdir(parents=True, exist_ok=True)
+            write_chrome_trace(
+                TraceLog(enabled=False),
+                str(args.perfetto / f"{p['label']}.lineage.trace.json"),
+                job_name=p["label"],
+                lineage=lineage,
+            )
+
+    doc = {
+        "run_id": record["run_id"],
+        "name": record.get("name"),
+        "points": payload,
+        "violations": violations,
+        "insane_steps": insane,
+    }
+    if args.json:
+        print(json.dumps(doc, indent=1, sort_keys=True))
+        if args.output is not None:
+            from repro.telemetry import write_json_artifact
+
+            args.output.mkdir(parents=True, exist_ok=True)
+            path = write_json_artifact(doc, args.output / "lineage.json")
+            print(f"[written to {path}]", file=sys.stderr)
+    elif args.dot:
+        text = "\n".join(dots)
+        print(text)
+        if args.output is not None:
+            args.output.mkdir(parents=True, exist_ok=True)
+            path = args.output / "lineage.dot"
+            path.write_text(text + "\n")
+            print(f"[written to {path}]", file=sys.stderr)
+    else:
+        text = f"run {record['run_id']} ({record.get('name')})\n\n"
+        text += "\n\n".join(sections)
+        _emit(text, "lineage", args.output)
+    for v in violations:
+        print(f"repro lineage: VIOLATION: {v}", file=sys.stderr)
+    if args.check:
+        for s in insane:
+            print(f"repro lineage: NOT SANE: {s}", file=sys.stderr)
+    if violations:
+        return 1
+    return 1 if args.check and insane else 0
+
+
 _COMMANDS = {
     "fig1": _cmd_fig1,
     "fig2": _cmd_fig2,
@@ -1418,6 +1635,7 @@ _COMMANDS = {
     "report": _cmd_report,
     "runs": _cmd_runs,
     "explain": _cmd_explain,
+    "lineage": _cmd_lineage,
     "bench": _cmd_bench,
     "inspect": _cmd_inspect,
 }

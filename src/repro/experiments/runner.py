@@ -85,6 +85,7 @@ def run_scenario(
     telemetry: Optional[Telemetry] = None,
     backend: str = "auto",
     ledger=None,
+    lineage=None,
 ) -> ExperimentResult:
     """Execute ``scenario`` on a fresh simulated cluster.
 
@@ -96,6 +97,12 @@ def run_scenario(
     attached over the application's cores on either backend and closed —
     with its conservation check — at application finish. Like telemetry,
     it never affects the simulation.
+
+    ``lineage`` (optional, a
+    :class:`~repro.obs.lineage.LineageRecorder`) observes the
+    application's per-chare load samples and LB migrations on either
+    backend and is closed at application finish. Like telemetry, it
+    never affects the simulation.
 
     ``backend`` selects the simulation backend:
 
@@ -118,7 +125,7 @@ def run_scenario(
 
         if backend == "fast" or fastpath_unsupported_reason(scenario) is None:
             return run_scenario_fast(
-                scenario, telemetry=telemetry, ledger=ledger
+                scenario, telemetry=telemetry, ledger=ledger, lineage=lineage
             )
     engine = SimulationEngine()
     cluster = Cluster(
@@ -173,6 +180,15 @@ def run_scenario(
             ledger.close(engine.now)
 
         app_rt.on_finish(close_ledger)
+
+    if lineage is not None:
+        app_rt.lineage = lineage
+        lineage.record_placement(app_rt.mapping)
+
+        def close_lineage(rt: Runtime) -> None:
+            lineage.close(engine.now, bg_cpu=rt._true_bg_cpu())
+
+        app_rt.on_finish(close_lineage)
 
     app_rt.start(scenario.iterations)
     if bg_rt is not None:

@@ -103,6 +103,7 @@ __all__ = [
     "run_point",
     "run_point_audited",
     "run_point_ledgered",
+    "run_point_lineaged",
     "run_shard",
     "SweepPoint",
     "SweepSpec",
@@ -452,6 +453,42 @@ def _execute_point_ledgered(
     return index, summary.to_dict(), ledger, wall, f"pid:{os.getpid()}"
 
 
+def run_point_lineaged(
+    params: Mapping[str, Any], *, backend: str = "auto"
+) -> Tuple[ScenarioSummary, Dict[str, Any]]:
+    """Execute one point with the chare-lineage observatory attached.
+
+    Returns ``(summary, lineage_payload)`` where ``lineage_payload`` is
+    the JSON-safe :meth:`repro.obs.lineage.LineageRecorder.payload`
+    dict, with each LB step joined against the run's audit trail (a
+    :class:`~repro.telemetry.Telemetry` rides along for the join — both
+    are strictly observational, so the scenario summary is bit-identical
+    to :func:`run_point`'s and lineaged runs share cache entries with
+    plain ones). The payload itself is bit-identical across backends —
+    the parity suite enforces both properties.
+    """
+    from repro.obs.lineage import LineageRecorder
+
+    telemetry = Telemetry()
+    scenario = build_scenario(params)
+    lineage = LineageRecorder(job="app", core_ids=scenario.app_core_ids)
+    result = run_scenario(
+        scenario, backend=backend, telemetry=telemetry, lineage=lineage
+    )
+    return summarize_result(result), lineage.payload(audit=telemetry.audit.records)
+
+
+def _execute_point_lineaged(
+    payload: Tuple[int, Dict[str, Any], str],
+) -> Tuple[int, Dict[str, Any], Dict[str, Any], float, str]:
+    """Worker entry point for lineaged runs (picklable, top-level)."""
+    index, params, backend = payload
+    t0 = time.perf_counter()
+    summary, lineage = run_point_lineaged(params, backend=backend)
+    wall = time.perf_counter() - t0
+    return index, summary.to_dict(), lineage, wall, f"pid:{os.getpid()}"
+
+
 def run_shard(
     shard_points: Sequence[Tuple[int, Dict[str, Any]]],
     *,
@@ -611,7 +648,10 @@ class PointResult:
     (see :func:`repro.telemetry.audit_summary`) when the sweep ran with
     ``audit_dir``, else None. ``ledger`` is the point's time-attribution
     ledger summary (see :meth:`repro.obs.ledger.TimeLedger.summary`)
-    when the sweep ran with ``ledger=True``, else None.
+    when the sweep ran with ``ledger=True``, else None. ``lineage`` is
+    the point's chare-lineage payload (see
+    :meth:`repro.obs.lineage.LineageRecorder.payload`) when the sweep
+    ran with ``lineage=True``, else None.
     """
 
     index: int
@@ -624,6 +664,7 @@ class PointResult:
     worker: str
     audit: Optional[Dict[str, Any]] = None
     ledger: Optional[Dict[str, Any]] = None
+    lineage: Optional[Dict[str, Any]] = None
 
 
 @dataclass(frozen=True)
@@ -694,6 +735,7 @@ def run_sweep(
     fabric_dir: Optional[Union[str, Path]] = None,
     fabric_options: Optional[Dict[str, Any]] = None,
     ledger: bool = False,
+    lineage: bool = False,
 ) -> SweepResult:
     """Execute every point of ``spec``; returns ordered results + metrics.
 
@@ -754,6 +796,15 @@ def run_sweep(
         registry record. Summaries stay bit-identical to un-ledgered
         runs. Mutually exclusive with ``audit_dir`` and the fabric
         driver.
+    lineage:
+        When True every point runs with a chare-lineage recorder
+        attached (:mod:`repro.obs.lineage`): per-chare load samples,
+        migration residencies, per-iteration imbalance metrics and
+        counterfactual LB bounds ride the :class:`PointResult`, the
+        cache entry (as a ``lineage`` extra — hits lacking one are
+        re-executed) and the registry record. Summaries stay
+        bit-identical to un-lineaged runs. Mutually exclusive with
+        ``audit_dir``, ``ledger`` and the fabric driver.
     """
     if driver not in ("local", "fabric"):
         raise ValueError(f"unknown driver {driver!r}")
@@ -762,11 +813,26 @@ def run_sweep(
             "ledger=True and audit_dir are mutually exclusive: each "
             "requests its own per-point instrumentation run"
         )
+    if lineage and audit_dir is not None:
+        raise ValueError(
+            "lineage=True and audit_dir are mutually exclusive: each "
+            "requests its own per-point instrumentation run"
+        )
+    if lineage and ledger:
+        raise ValueError(
+            "lineage=True and ledger=True are mutually exclusive: each "
+            "requests its own per-point instrumentation run"
+        )
     if driver == "fabric":
         if ledger:
             raise ValueError(
                 "ledger=True requires driver='local': ledger payloads do "
                 "not travel through shard result files"
+            )
+        if lineage:
+            raise ValueError(
+                "lineage=True requires driver='local': lineage payloads "
+                "do not travel through shard result files"
             )
         if audit_dir is not None:
             raise ValueError(
@@ -813,6 +879,7 @@ def run_sweep(
         hit = cache.get(keys[p.index]) if cache is not None else None
         cached_audit: Optional[Dict[str, Any]] = None
         cached_ledger: Optional[Dict[str, Any]] = None
+        cached_lineage: Optional[Dict[str, Any]] = None
         if hit is not None and audit_path is not None:
             extras = cache.get_extras(keys[p.index])
             cached_audit = extras.get("audit") if extras else None
@@ -825,6 +892,12 @@ def run_sweep(
             cached_ledger = extras.get("ledger") if extras else None
             if cached_ledger is None:
                 # no ledger payload cached for this entry: re-execute
+                hit = None
+        if hit is not None and lineage:
+            extras = cache.get_extras(keys[p.index])
+            cached_lineage = extras.get("lineage") if extras else None
+            if cached_lineage is None:
+                # no lineage payload cached for this entry: re-execute
                 hit = None
         if hit is not None:
             if cached_audit is not None:
@@ -843,6 +916,7 @@ def run_sweep(
                 worker="cache",
                 audit=cached_audit["summary"] if cached_audit else None,
                 ledger=cached_ledger,
+                lineage=cached_lineage,
             )
         else:
             misses.append(p)
@@ -874,6 +948,7 @@ def run_sweep(
         trace: Optional[TraceLog] = None,
         profile: Optional[Dict[str, Any]] = None,
         ledger_summary: Optional[Dict[str, Any]] = None,
+        lineage_payload: Optional[Dict[str, Any]] = None,
     ) -> None:
         audit_sum = audit_summary(records) if records is not None else None
         outcomes[p.index] = PointResult(
@@ -887,6 +962,7 @@ def run_sweep(
             worker=worker,
             audit=audit_sum,
             ledger=ledger_summary,
+            lineage=lineage_payload,
         )
         if cache is not None:
             extras = None
@@ -894,6 +970,8 @@ def run_sweep(
                 extras = {"audit": {"summary": audit_sum, "records": records}}
             if ledger_summary is not None:
                 extras = {**(extras or {}), "ledger": ledger_summary}
+            if lineage_payload is not None:
+                extras = {**(extras or {}), "lineage": lineage_payload}
             cache.put(keys[p.index], p.params, summary.to_dict(), extras=extras)
         if audit_path is not None and records is not None:
             stem = audit_stem(p)
@@ -939,6 +1017,17 @@ def run_sweep(
                 finish(
                     p, summary, time.perf_counter() - t0, "main",
                     ledger_summary=ledger_sum,
+                )
+        elif lineage:
+            for p in misses:
+                log.emit("point_start", label=p.label, key=keys[p.index])
+                t0 = time.perf_counter()
+                summary, lineage_payload = run_point_lineaged(
+                    p.params, backend=backend
+                )
+                finish(
+                    p, summary, time.perf_counter() - t0, "main",
+                    lineage_payload=lineage_payload,
                 )
         else:
             # one lazy shard: each next() simulates one point, so the
@@ -1004,6 +1093,27 @@ def run_sweep(
                         worker,
                         ledger_summary=ledger_sum,
                     )
+    elif misses and lineage:
+        # lineaged pool path: per-point tasks — each point carries its
+        # own lineage payload back
+        with ProcessPoolExecutor(max_workers=min(workers, len(misses))) as pool:
+            futures = {}
+            for p in misses:
+                log.emit("point_start", label=p.label, key=keys[p.index])
+                task = (p.index, p.params, backend)
+                futures[pool.submit(_execute_point_lineaged, task)] = p.index
+            pending = set(futures)
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for fut in done:
+                    index, summary_dict, lin_payload, wall, worker = fut.result()
+                    finish(
+                        by_index[index],
+                        ScenarioSummary.from_dict(summary_dict),
+                        wall,
+                        worker,
+                        lineage_payload=lin_payload,
+                    )
     elif misses:
         # the local pool is a fabric in miniature: the same shard plan
         # the distributed coordinator publishes, executed by pool
@@ -1056,6 +1166,8 @@ def run_sweep(
         extra = None
         if ledger:
             extra = {"ledger": _ledger_aggregate(ordered)}
+        if lineage:
+            extra = {**(extra or {}), "lineage": _lineage_aggregate(ordered)}
         record = registry.ingest_sweep(
             spec,
             result,
@@ -1078,4 +1190,22 @@ def _ledger_aggregate(results: Sequence[PointResult]) -> Dict[str, Any]:
             b: sum(s["fractions"][b] for s in summaries) / len(summaries)
             for b in summaries[0]["fractions"]
         }
+    return agg
+
+
+def _lineage_aggregate(results: Sequence[PointResult]) -> Dict[str, Any]:
+    """Sweep-level roll-up of the per-point lineage run blocks."""
+    runs = [r.lineage["run"] for r in results if r.lineage is not None]
+    agg: Dict[str, Any] = {
+        "points": len(runs),
+        "lb_steps": sum(r["lb_steps"] for r in runs),
+        "migrations": sum(r["migrations"] for r in runs),
+        "all_sane": all(r["sane"] for r in runs),
+    }
+    efficiencies = [
+        r["efficiency"] for r in runs if r["efficiency"] is not None
+    ]
+    if efficiencies:
+        agg["mean_efficiency"] = sum(efficiencies) / len(efficiencies)
+        agg["min_efficiency"] = min(efficiencies)
     return agg

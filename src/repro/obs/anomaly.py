@@ -41,7 +41,14 @@ more structured :class:`Finding`\\ s with a severity:
   overhead) wall fraction far above the same point's history median:
   the balancer is paying more than it used to for the same scenario;
 * ``idle-regression`` — a point's barrier-idle wall fraction far above
-  its history median: load imbalance creeping back in.
+  its history median: load imbalance creeping back in;
+* ``imbalance-unrecovered`` — a point's run-level LB efficiency
+  (recovered / recoverable core-seconds, :mod:`repro.obs.lineage`)
+  well below the same point's registry-history median: the balancer is
+  recovering less of the achievable imbalance than it used to;
+* ``thrashing-chare`` — one chare migrated more than K times while the
+  LB steps that moved it recovered nothing: pure churn, the ABL-PERIOD
+  failure mode pinned to the object that suffers it.
 
 Severities: ``info`` < ``warning`` < ``error``. ``repro runs check``
 exits non-zero only on ``error`` findings, so the CI anomaly gate fails
@@ -68,6 +75,7 @@ __all__ = [
     "check_bench_trajectory",
     "check_fabric",
     "check_ledger",
+    "check_lineage",
     "check_run",
     "max_severity",
     "has_errors",
@@ -142,6 +150,13 @@ class Thresholds:
     idle_error: float = 2.5
     #: ... provided idle is at least this fraction of wall (floor).
     idle_min: float = 0.05
+    #: absolute drop in run LB efficiency vs the identical point's
+    #: history median that warns / errors.
+    efficiency_drop_warn: float = 0.2
+    efficiency_drop_error: float = 0.5
+    #: migrations of one chare beyond which zero-recovery churn is
+    #: judged thrashing.
+    thrash_migrations: int = 3
 
 
 DEFAULT_THRESHOLDS = Thresholds()
@@ -713,6 +728,126 @@ def check_ledger(
 
 
 # ---------------------------------------------------------------------------
+# lineage rules
+# ---------------------------------------------------------------------------
+
+
+def _lineage_efficiency_history(
+    history: Sequence[Mapping[str, Any]],
+    label: str,
+    params: Mapping[str, Any],
+) -> List[float]:
+    """Run-level LB efficiency across prior identical lineaged points."""
+    values: List[float] = []
+    for past in history:
+        for point in past.get("points", ()):
+            if point.get("label") != label or point.get("params") != params:
+                continue
+            lineage = point.get("lineage")
+            if not isinstance(lineage, Mapping):
+                continue
+            value = lineage.get("run", {}).get("efficiency")
+            if isinstance(value, (int, float)):
+                values.append(float(value))
+    return values
+
+
+def check_lineage(
+    record: Mapping[str, Any],
+    history: Sequence[Mapping[str, Any]] = (),
+    thresholds: Thresholds = DEFAULT_THRESHOLDS,
+) -> List[Finding]:
+    """Chare-lineage rules over points carrying lineage payloads.
+
+    Points recorded without ``sweep --lineage`` carry no payload and
+    produce no findings. Thrashing is judged inside one run (a chare
+    bounced more than K times while the steps that moved it recovered
+    nothing); the efficiency rule needs registry history of the
+    identical point, like :func:`check_history_outliers`.
+    """
+    findings: List[Finding] = []
+    run_id = record.get("run_id", "?")
+    enough_history = len(history) >= thresholds.min_history
+    for point in record.get("points", ()):
+        lineage = point.get("lineage")
+        if not isinstance(lineage, Mapping):
+            continue
+        label = point.get("label", "?")
+        subject = f"{run_id}:{label}"
+
+        moved: Dict[str, int] = {}
+        recovered: Dict[str, float] = {}
+        for step in lineage.get("steps", ()):
+            gain = step.get("recovered_s")
+            for m in step.get("migrations", ()):
+                chare = str(m.get("chare"))
+                moved[chare] = moved.get(chare, 0) + 1
+                if isinstance(gain, (int, float)):
+                    recovered[chare] = recovered.get(chare, 0.0) + float(gain)
+        for chare, count in sorted(moved.items()):
+            if count <= thresholds.thrash_migrations:
+                continue
+            if recovered.get(chare, 0.0) > 0.0:
+                continue
+            findings.append(
+                Finding(
+                    rule="thrashing-chare",
+                    severity=SEV_WARNING,
+                    subject=f"{subject}:{chare}",
+                    message=(
+                        f"{chare} migrated {count} times while the LB "
+                        f"steps that moved it recovered "
+                        f"{recovered.get(chare, 0.0):.6f} core-s — pure "
+                        f"churn; every move paid cost for no imbalance "
+                        f"recovered"
+                    ),
+                    value=float(count),
+                    threshold=float(thresholds.thrash_migrations),
+                )
+            )
+
+        if not enough_history:
+            continue
+        params = point.get("params")
+        if not isinstance(params, Mapping):
+            continue
+        efficiency = lineage.get("run", {}).get("efficiency")
+        if not isinstance(efficiency, (int, float)):
+            continue
+        past = _lineage_efficiency_history(history, label, params)
+        if not past:
+            continue
+        median = _median(past)
+        drop = median - float(efficiency)
+        severity = _severity(
+            drop,
+            thresholds.efficiency_drop_warn,
+            thresholds.efficiency_drop_error,
+        )
+        if severity is not None:
+            findings.append(
+                Finding(
+                    rule="imbalance-unrecovered",
+                    severity=severity,
+                    subject=subject,
+                    message=(
+                        f"run LB efficiency {float(efficiency):.2f} is "
+                        f"{drop:.2f} below the median of {len(past)} prior "
+                        f"run(s) ({median:.2f}) — the balancer recovers "
+                        f"less of the achievable imbalance than it used to"
+                    ),
+                    value=drop,
+                    threshold=(
+                        thresholds.efficiency_drop_error
+                        if severity == SEV_ERROR
+                        else thresholds.efficiency_drop_warn
+                    ),
+                )
+            )
+    return findings
+
+
+# ---------------------------------------------------------------------------
 # composition
 # ---------------------------------------------------------------------------
 
@@ -729,6 +864,7 @@ def check_run(
     findings.extend(check_history_outliers(record, history, thresholds))
     findings.extend(check_fabric(record, history, thresholds))
     findings.extend(check_ledger(record, history, thresholds))
+    findings.extend(check_lineage(record, history, thresholds))
     findings.sort(key=lambda f: (-_SEV_ORDER[f.severity], f.rule, f.subject))
     return findings
 

@@ -170,6 +170,7 @@ class RunRegistry:
                 "summary": r.summary.to_dict(),
                 "audit": r.audit,
                 "ledger": r.ledger,
+                "lineage": r.lineage,
             }
             for r in result.results
         ]

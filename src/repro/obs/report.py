@@ -15,6 +15,10 @@ perf trajectory know:
 * fabric health for distributed runs: a track-per-worker timeline strip
   of shard attempts (steals and faults colored), utilization bars, and
   steal/respawn/death counters from each run's ``fabric`` block;
+* load imbalance for runs recorded with ``sweep --lineage``: one
+  per-iteration λ sparkline and one Sankey-style migration-flow strip
+  per point, with the run's counterfactual LB efficiency
+  (see :mod:`repro.obs.lineage`);
 * bench trajectory trends as per-metric sparklines;
 * anomaly findings from :mod:`repro.obs.anomaly`, worst first.
 
@@ -225,6 +229,62 @@ def _fabric_utilization(fabric: Mapping[str, Any]) -> List[Dict[str, Any]]:
     return rows
 
 
+def _migration_flow_svg(
+    steps: Sequence[Mapping[str, Any]],
+    cores: Sequence[int],
+    *,
+    width: int = 240,
+    row_h: int = 16,
+) -> str:
+    """Sankey-style migration-flow strip: source cores on the left,
+    destination cores on the right, one band per (src, dst) flow with
+    thickness scaled by migration count (count also in the <title>)."""
+    flows: Dict[Any, int] = {}
+    for step in steps:
+        for m in step.get("migrations", ()):
+            pair = (int(m["src"]), int(m["dst"]))
+            flows[pair] = flows.get(pair, 0) + 1
+    if not flows:
+        return '<span class="muted">no migrations</span>'
+    core_ids = sorted(int(c) for c in cores)
+    index = {c: i for i, c in enumerate(core_ids)}
+    pad, label_w = 4, 30
+    height = row_h * len(core_ids) + pad
+    x0, x1 = label_w, width - label_w
+    mid = (x0 + x1) / 2
+    max_count = max(flows.values())
+
+    def y(core: int) -> float:
+        return pad / 2 + index[core] * row_h + row_h / 2
+
+    parts = [
+        f'<svg class="spark" width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}" role="img" '
+        f'aria-label="migration flow between {len(core_ids)} cores">'
+    ]
+    for c in core_ids:
+        parts.append(
+            f'<text x="2" y="{y(c) + 4:.1f}" font-size="10" '
+            f'fill="var(--ink-2)">c{c}</text>'
+        )
+        parts.append(
+            f'<text x="{x1 + 4:.1f}" y="{y(c) + 4:.1f}" font-size="10" '
+            f'fill="var(--ink-2)">c{c}</text>'
+        )
+    for (src, dst), count in sorted(flows.items()):
+        stroke = 1.5 + 4.5 * count / max_count
+        parts.append(
+            f'<path d="M {x0} {y(src):.1f} C {mid:.1f} {y(src):.1f}, '
+            f'{mid:.1f} {y(dst):.1f}, {x1} {y(dst):.1f}" fill="none" '
+            f'stroke="var(--series)" stroke-width="{stroke:.1f}" '
+            f'opacity="0.7" stroke-linecap="round">'
+            f"<title>core {src} &rarr; core {dst}: {count} "
+            f"migration(s)</title></path>"
+        )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
 #: Ledger bucket fills. The row's <title> and the legend carry the same
 #: information as text, so color never stands alone.
 _BUCKET_FILL = {
@@ -368,6 +428,31 @@ def build_report(
                 }
             )
 
+    # load imbalance of the latest run of each sweep
+    lineage_rows: List[Dict[str, Any]] = []
+    for name, record in sorted(latest_by_name.items()):
+        for point in record.get("points", ()):
+            lineage = point.get("lineage")
+            if not isinstance(lineage, Mapping):
+                continue
+            run = lineage.get("run", {})
+            lineage_rows.append(
+                {
+                    "sweep": name,
+                    "run_id": record["run_id"],
+                    "label": point.get("label", "?"),
+                    "lambdas": [
+                        float(row["lambda"])
+                        for row in lineage.get("per_iteration", ())
+                    ],
+                    "steps": list(lineage.get("steps", ())),
+                    "cores": list(lineage.get("cores", ())),
+                    "migrations": run.get("migrations", 0),
+                    "efficiency": run.get("efficiency"),
+                    "sane": bool(run.get("sane", True)),
+                }
+            )
+
     trajectory = _load_trajectory(trajectory_dir)
     findings.extend(check_bench_trajectory(trajectory, thresholds))
 
@@ -393,6 +478,7 @@ def build_report(
         "figure_rows": figure_rows,
         "fabric_rows": fabric_rows,
         "ledger_rows": ledger_rows,
+        "lineage_rows": lineage_rows,
         "trends": trends,
         "trajectory_entries": len(trajectory),
         "findings": [f.to_dict() for f in findings],
@@ -411,6 +497,7 @@ def render_report(data: Mapping[str, Any]) -> str:
     figure_rows: Sequence[Mapping[str, Any]] = data.get("figure_rows", ())
     fabric_rows: Sequence[Mapping[str, Any]] = data.get("fabric_rows", ())
     ledger_rows: Sequence[Mapping[str, Any]] = data.get("ledger_rows", ())
+    lineage_rows: Sequence[Mapping[str, Any]] = data.get("lineage_rows", ())
     trends: Mapping[str, Mapping[str, Any]] = data.get("trends", {})
     errors = sum(1 for f in findings if f.get("severity") == "error")
     warnings = sum(1 for f in findings if f.get("severity") == "warning")
@@ -506,6 +593,51 @@ def render_report(data: Mapping[str, Any]) -> str:
         out.append(
             '<p class="muted">No ledger-carrying runs registered (run '
             "<code>repro sweep --ledger</code>).</p>"
+        )
+
+    # load imbalance
+    out.append("<h2>Load imbalance (sweep --lineage)</h2>")
+    if lineage_rows:
+        out.append(
+            '<p class="muted">Per-iteration λ = max/avg load and the '
+            "migration flow between cores, with each run's "
+            "counterfactual LB efficiency — recovered / recoverable "
+            "imbalance against the oracle fractional balance "
+            "(<code>repro lineage</code> shows the per-step detail).</p>"
+        )
+        out.append(
+            "<table><thead><tr><th>sweep</th><th>point</th>"
+            "<th>λ per iteration</th><th>migration flow</th>"
+            '<th class="num">migrations</th>'
+            '<th class="num">LB efficiency</th><th>sane</th>'
+            "</tr></thead><tbody>"
+        )
+        for row in lineage_rows:
+            efficiency = row.get("efficiency")
+            eff_txt = (
+                f"{float(efficiency) * 100.0:.0f}%"
+                if isinstance(efficiency, (int, float))
+                else "-"
+            )
+            status = (
+                '<span class="ok">✓ sane</span>'
+                if row.get("sane", True)
+                else '<span class="sev-warning">▲ not sane</span>'
+            )
+            out.append(
+                f"<tr><td>{_esc(row['sweep'])}</td>"
+                f"<td><code>{_esc(row['label'])}</code></td>"
+                f"<td>{_sparkline_svg(row.get('lambdas', []))}</td>"
+                f"<td>{_migration_flow_svg(row.get('steps', ()), row.get('cores', ()))}</td>"
+                f'<td class="num">{_esc(row.get("migrations", 0))}</td>'
+                f'<td class="num">{_esc(eff_txt)}</td>'
+                f"<td>{status}</td></tr>"
+            )
+        out.append("</tbody></table>")
+    else:
+        out.append(
+            '<p class="muted">No lineage-carrying runs registered (run '
+            "<code>repro sweep --lineage</code>).</p>"
         )
 
     # run table

@@ -283,10 +283,10 @@ def watch_file(
             f"(job.json)",
             file=sys.stderr,
         )
-        return 2
+        return 1
     if not p.is_file():
         print(f"repro watch: error: no progress file at {p}", file=sys.stderr)
-        return 2
+        return 1
     renderer = WatchRenderer()
     is_tty = hasattr(out, "isatty") and out.isatty()
     waited = 0.0
@@ -357,9 +357,9 @@ def _watch_fabric_dir(
     transport = FileTransport(root)
     try:
         job = transport.read_job()
-    except ValueError as exc:
+    except (ValueError, OSError) as exc:
         print(f"repro watch: error: {exc}", file=sys.stderr)
-        return 2
+        return 1
     shard_ids = [str(s["shard_id"]) for s in job.get("shards", ())]
     renderer = WatchRenderer()
     renderer.feed(

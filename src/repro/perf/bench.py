@@ -238,6 +238,40 @@ def _bench_fastpath_runs() -> float:
     return reps / wall
 
 
+def _bench_lineaged_runs() -> float:
+    """Fast-backend run rate with the lineage observatory attached.
+
+    Same scenario as ``fastpath.runs_per_s``, so the ratio of the two
+    metrics reads directly as the enabled-recorder overhead (sampling
+    every task plus building the payload). The *disabled*-hook overhead
+    — the ``is not None`` checks a bare run pays — is gated like the
+    ledger's hooks: cross-commit A/B on ``fastpath.runs_per_s`` itself,
+    held under 1%.
+    """
+    from repro.experiments.runner import run_scenario
+    from repro.experiments.sweep import build_scenario
+    from repro.obs.lineage import LineageRecorder
+
+    params = {
+        "app": "jacobi2d",
+        "scale": 0.05,
+        "iterations": 10,
+        "cores": 4,
+        "bg": True,
+        "balancer": "refine-vm",
+    }
+    reps = 20
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        scenario = build_scenario(params)
+        lineage = LineageRecorder(job="app", core_ids=scenario.app_core_ids)
+        run_scenario(scenario, backend="fast", lineage=lineage)
+        payload = lineage.payload()
+    wall = time.perf_counter() - t0
+    assert payload["run"]["lb_steps"] >= 0
+    return reps / wall
+
+
 def _bench_cache_roundtrip() -> float:
     """Result-cache put+get rate (atomic JSON entries on local disk)."""
     from repro.experiments.cache import ResultCache
@@ -306,6 +340,7 @@ def default_benchmarks() -> List[Benchmark]:
         Benchmark("lb.view_build_per_s", "micro", "views/s", HIGHER, _bench_view_build),
         Benchmark("net.message_time_per_s", "micro", "calls/s", HIGHER, _bench_net_message_time),
         Benchmark("fastpath.runs_per_s", "micro", "runs/s", HIGHER, _bench_fastpath_runs),
+        Benchmark("lineage.runs_per_s", "micro", "runs/s", HIGHER, _bench_lineaged_runs),
         Benchmark("cache.roundtrip_per_s", "micro", "ops/s", HIGHER, _bench_cache_roundtrip),
         Benchmark("macro.smoke_point_s", "macro", "s", LOWER, _bench_smoke_point, max_repeats=3, max_warmup=1),
         Benchmark("macro.smoke_point_events_s", "macro", "s", LOWER, lambda: _bench_smoke_point("events"), max_repeats=3, max_warmup=1),

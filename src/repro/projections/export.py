@@ -22,6 +22,7 @@ __all__ = [
     "to_trace_events",
     "audit_counter_events",
     "ledger_counter_events",
+    "lineage_counter_events",
     "write_chrome_trace",
 ]
 
@@ -204,6 +205,54 @@ def ledger_counter_events(
     return events
 
 
+def lineage_counter_events(
+    payload: Mapping[str, Any],
+    *,
+    pid: int = 1,
+) -> List[Dict[str, Any]]:
+    """Perfetto counter ("C") tracks from a lineage payload.
+
+    Two tracks, one sample per application iteration:
+
+    * ``imbalance`` — λ (max/avg), CoV and Gini as parallel series, so
+      an LB step paying off shows as all three dropping together;
+    * ``per-chare load by core (s)`` — each core's summed app CPU for
+      the iteration as its own series (the raw signal behind λ).
+
+    ``payload`` is :meth:`repro.obs.lineage.LineageRecorder.payload`
+    output (or the equal dict stored on cache entries / registry
+    points).
+    """
+    events: List[Dict[str, Any]] = []
+    for row in payload.get("per_iteration", ()):
+        ts = float(row["start_s"]) * _US
+        events.append(
+            {
+                "name": "imbalance",
+                "cat": "lineage",
+                "ph": "C",
+                "pid": pid,
+                "ts": ts,
+                "args": {
+                    "lambda": row["lambda"],
+                    "cov": row["cov"],
+                    "gini": row["gini"],
+                },
+            }
+        )
+        events.append(
+            {
+                "name": "per-chare load by core (s)",
+                "cat": "lineage",
+                "ph": "C",
+                "pid": pid,
+                "ts": ts,
+                "args": {f"core{c}": v for c, v in row["loads"].items()},
+            }
+        )
+    return events
+
+
 def write_chrome_trace(
     trace: TraceLog,
     path: str,
@@ -213,6 +262,7 @@ def write_chrome_trace(
     audit: Optional[Sequence[Mapping[str, Any]]] = None,
     profile: Optional[Union[PhaseProfiler, Mapping[str, Any]]] = None,
     ledger: Optional[Mapping[str, Any]] = None,
+    lineage: Optional[Mapping[str, Any]] = None,
 ) -> int:
     """Write ``trace`` (plus optional co-scheduled jobs) as JSON.
 
@@ -221,6 +271,8 @@ def write_chrome_trace(
     (per-core load, O_p estimated/true, cumulative migrations) to the
     main job's lane; ``ledger`` (a time-ledger summary dict) adds the
     per-iteration attribution buckets as one stacked counter track;
+    ``lineage`` (a lineage payload dict) adds per-iteration imbalance
+    (λ/CoV/Gini) and per-core load counter tracks;
     ``profile`` (a :class:`PhaseProfiler` or its exported dict) adds the
     host wall-clock phase breakdown as its own process lane.
     Simulated-time and host-time lanes share one timeline axis but not
@@ -233,6 +285,8 @@ def write_chrome_trace(
         events.extend(audit_counter_events(audit, pid=1))
     if ledger is not None:
         events.extend(ledger_counter_events(ledger, pid=1))
+    if lineage is not None:
+        events.extend(lineage_counter_events(lineage, pid=1))
     if profile is not None:
         events.extend(phase_trace_events(profile))
     with open(path, "w") as fh:

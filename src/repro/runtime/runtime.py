@@ -254,6 +254,10 @@ class Runtime:
         #: marks and LB pause windows (null hook: None by default;
         #: attached externally by the experiment runner)
         self.ledger = None
+        #: optional :class:`~repro.obs.lineage.LineageRecorder` fed
+        #: per-chare load samples and migration events (same null-hook
+        #: doctrine as the ledger)
+        self.lineage = None
         if telemetry is not None and balancer is not None:
             balancer.attach_telemetry(telemetry)
         # per-core true injected background CPU at the current LB window's
@@ -402,6 +406,8 @@ class Runtime:
     def _begin_iteration(self, iteration: int) -> None:
         if self.ledger is not None:
             self.ledger.mark_iteration(iteration, self.engine.now)
+        if self.lineage is not None:
+            self.lineage.mark_iteration(iteration, self.engine.now)
         self._iteration = iteration
         self._iter_started = self.engine.now
         self._iter_core_wall = {cid: 0.0 for cid in self.core_ids}
@@ -443,6 +449,10 @@ class Runtime:
         self.db.record_task(msg.chare, proc.cpu_time)
         started = proc.started_at if proc.started_at is not None else self.engine.now
         core_id = self.mapping[msg.chare]
+        if self.lineage is not None:
+            self.lineage.record_sample(
+                msg.chare, msg.iteration, core_id, proc.cpu_time
+            )
         self._iter_core_wall[core_id] = (
             self._iter_core_wall.get(core_id, 0.0) + (self.engine.now - started)
         )
@@ -536,6 +546,13 @@ class Runtime:
         view = self.db.build_view(self.mapping)
         migrations = self.balancer.balance(view)
         cost = self._apply_migrations(migrations)
+        if self.lineage is not None:
+            self.lineage.record_lb_step(
+                time=self.engine.now,
+                iteration=next_iteration,
+                migrations=[(m.chare, m.src, m.dst) for m in migrations],
+                bg_cpu=self._true_bg_cpu(),
+            )
         if self.telemetry is not None:
             self._commit_telemetry_step(next_iteration, migrations, cost)
         self.db.reset_window()

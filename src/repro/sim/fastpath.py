@@ -363,6 +363,8 @@ class _FastCore:
         # arithmetic only ever yields non-negative floats
         tc = job.db._task_cpu
         tc[p.key] = tc.get(p.key, 0.0) + cpu
+        if job.lineage is not None:
+            job.lineage.record_sample(p.key, job._iteration, p.cid, cpu)
         # _begin_iteration pre-seeds every core id with 0.0
         job._iter_core_wall[p.cid] += t - p.started_at
         job._completions.append((t, sched, p.rank, cpu))
@@ -454,6 +456,8 @@ class _FastJob:
         self.others: List["_FastJob"] = []
         #: optional TimeLedger (null hook, mirrors Runtime.ledger)
         self.ledger = None
+        #: optional LineageRecorder (null hook, mirrors Runtime.lineage)
+        self.lineage = None
         self._on_finish: List[Callable[["_FastJob"], None]] = []
         # per-iteration completion buffer: (end, sched, core_rank, cpu).
         # Sorted at the barrier, this reproduces the engine's chronological
@@ -563,6 +567,8 @@ class _FastJob:
             return
         if self.ledger is not None:
             self.ledger.mark_iteration(iteration, T)
+        if self.lineage is not None:
+            self.lineage.mark_iteration(iteration, T)
         self._iteration = iteration
         self._iter_started = T
         self._iter_core_wall = {cid: 0.0 for cid in self.core_ids}
@@ -601,6 +607,7 @@ class _FastJob:
         accrued CPU equals ``end_k - end_{k-1}``).
         """
         led = self.ledger
+        lin = self.lineage
         if len(chs) == 1:
             # one task per core — the shape of every batched background
             # iteration; same arithmetic as the scalar fold below, minus
@@ -643,6 +650,8 @@ class _FastJob:
             k = keys[0]
             tc = self.db._task_cpu
             tc[k] = tc.get(k, 0.0) + cpu
+            if lin is not None:
+                lin.record_sample(k, iteration, cid, cpu)
             self._completions.append((t, sched, rank, cpu))
             core.busy_time = busy
             cbo[name] = own
@@ -696,6 +705,8 @@ class _FastJob:
                     ch.total_cpu_time += c
                     k = keys[i]
                     tc[k] = tc_get(k, 0.0) + c
+                    if lin is not None:
+                        lin.record_sample(k, iteration, cid, c)
                     wall += c  # == e - prev bit-for-bit
                     comps.append((e, prev, rank, c))
                     if led is not None:
@@ -735,6 +746,8 @@ class _FastJob:
             ch.total_cpu_time += cpu
             k = keys[i]
             tc[k] = tc_get(k, 0.0) + cpu
+            if lin is not None:
+                lin.record_sample(k, iteration, cid, cpu)
             wall += t - start
             comps.append((t, sched, rank, cpu))
             if led is not None:
@@ -849,9 +862,12 @@ class _FastJob:
         core_ids = self.core_ids
         cores = self.cores
         ledger = self.ledger
+        lineage = self.lineage
         while True:
             if ledger is not None:
                 ledger.mark_iteration(iteration, T)
+            if lineage is not None:
+                lineage.mark_iteration(iteration, T)
             self._iteration = iteration
             self._iter_started = T
             self._iter_core_wall = {cid: 0.0 for cid in core_ids}
@@ -919,6 +935,13 @@ class _FastJob:
         )
         self.migration_count += len(migrations)
         self.migration_cost_s += cost
+        if self.lineage is not None:
+            self.lineage.record_lb_step(
+                time=self.sim.now,
+                iteration=next_iteration,
+                migrations=[(m.chare, m.src, m.dst) for m in migrations],
+                bg_cpu=self._true_bg_cpu(),
+            )
         if migrations:
             self._percore_dirty = True
             self._comm_delay_cache = None
@@ -979,13 +1002,22 @@ class _FastJob:
 # scenario driver
 # ----------------------------------------------------------------------
 def run_scenario_fast(
-    scenario: Scenario, *, telemetry: Optional[Telemetry] = None, ledger=None
+    scenario: Scenario,
+    *,
+    telemetry: Optional[Telemetry] = None,
+    ledger=None,
+    lineage=None,
 ):
     """Execute ``scenario`` on the fast path (see module docstring).
 
     ``ledger`` optionally attaches a
     :class:`~repro.obs.ledger.TimeLedger` over the application's cores;
     it is closed at application finish, after the energy reading.
+
+    ``lineage`` optionally attaches a
+    :class:`~repro.obs.lineage.LineageRecorder` to the application job;
+    it observes per-chare load samples and LB migrations and is closed
+    at application finish.
 
     Returns the same :class:`~repro.experiments.runner.ExperimentResult`
     as :func:`~repro.experiments.runner.run_scenario`, bit-identical.
@@ -1123,6 +1155,15 @@ def run_scenario_fast(
             ledger.close(now)
 
         app._on_finish.append(close_ledger)
+
+    if lineage is not None:
+        app.lineage = lineage
+        lineage.record_placement(app.mapping)
+
+        def close_lineage(job) -> None:
+            lineage.close(sim.now, bg_cpu=job._true_bg_cpu())
+
+        app._on_finish.append(close_lineage)
 
     app.start(scenario.iterations)
     if bg is not None:

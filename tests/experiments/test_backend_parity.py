@@ -18,6 +18,7 @@ from repro.experiments.runner import run_scenario
 from repro.experiments.sweep import build_scenario, run_point, run_sweep
 from repro.experiments.sweep_presets import smoke_spec
 from repro.obs.ledger import TimeLedger
+from repro.obs.lineage import LineageRecorder
 from repro.sim.fastpath import FastpathUnsupported, fastpath_unsupported_reason
 from repro.telemetry import Telemetry
 
@@ -46,6 +47,22 @@ def _assert_ledgers_identical(led_e, led_f):
     assert led_e.totals_exact() == led_f.totals_exact()
     assert led_e.busy_exact() == led_f.busy_exact()
     assert led_e.summary() == led_f.summary()
+
+
+def _run_both_lineaged(params):
+    """Run one param dict on both backends, each with telemetry + a
+    lineage recorder; return results and audit-joined payloads."""
+    results, payloads = [], []
+    for backend in ("events", "fast"):
+        scenario = build_scenario(params)
+        telemetry = Telemetry()
+        lineage = LineageRecorder(job="app", core_ids=scenario.app_core_ids)
+        res = run_scenario(
+            scenario, backend=backend, telemetry=telemetry, lineage=lineage
+        )
+        results.append(res)
+        payloads.append(lineage.payload(audit=telemetry.audit.records))
+    return results[0], results[1], payloads[0], payloads[1]
 
 
 def _assert_results_identical(res_e, res_f):
@@ -193,6 +210,42 @@ class TestLedgerParity:
             _assert_results_identical(bare, ledgered)
 
 
+class TestLineageParity:
+    """The chare-lineage observatory is part of the parity contract."""
+
+    @pytest.mark.parametrize(
+        "point", smoke_spec().expand(), ids=lambda p: p.label
+    )
+    def test_smoke_point_lineage_identical(self, point):
+        res_e, res_f, pay_e, pay_f = _run_both_lineaged(point.params)
+        _assert_results_identical(res_e, res_f)
+        # graphs, metrics and counterfactual bounds: exact == equality
+        assert pay_e == pay_f
+        # counterfactual sanity on the smoke preset: every step helps
+        for step in pay_e["steps"]:
+            assert step["oracle_max_s"] <= step["observed_max_s"]
+            assert step["sane"]
+
+    def test_lineage_does_not_change_results(self):
+        params = {
+            "app": "jacobi2d",
+            "scale": 0.05,
+            "iterations": 8,
+            "cores": 4,
+            "bg": True,
+            "balancer": "refine-vm",
+        }
+        for backend in ("events", "fast"):
+            bare = run_scenario(build_scenario(params), backend=backend)
+            sc = build_scenario(params)
+            lineaged = run_scenario(
+                sc,
+                backend=backend,
+                lineage=LineageRecorder(job="app", core_ids=sc.app_core_ids),
+            )
+            _assert_results_identical(bare, lineaged)
+
+
 class TestBackendSelection:
     def test_unknown_backend_rejected(self):
         params = {"app": "jacobi2d", "scale": 0.05, "iterations": 2, "cores": 4}
@@ -277,3 +330,17 @@ def test_random_scenarios_ledger_conserved_and_identical(params):
     assert led_e.conserved
     assert led_e.residual_exact() == 0
     assert led_f.residual_exact() == 0
+
+
+@settings(max_examples=15, deadline=None)
+@given(params=_scenario_params)
+def test_random_scenarios_lineage_identical(params):
+    """Both backends produce exactly equal lineage payloads, and the
+    oracle bound never exceeds the observed replay (exact mean <= max
+    on the effective load — a violation is a library bug)."""
+    res_e, res_f, pay_e, pay_f = _run_both_lineaged(params)
+    _assert_results_identical(res_e, res_f)
+    assert pay_e == pay_f
+    for step in pay_e["steps"]:
+        assert step["oracle_max_s"] <= step["observed_max_s"]
+        assert step["oracle_max_s"] <= step["nolb_max_s"]

@@ -106,7 +106,7 @@ def test_watch_file_skips_partial_lines(tmp_path):
 
 
 def test_watch_file_missing_is_a_clean_error(tmp_path, capsys):
-    assert watch_file(tmp_path / "nope.jsonl", out=io.StringIO()) == 2
+    assert watch_file(tmp_path / "nope.jsonl", out=io.StringIO()) == 1
     assert "no progress file" in capsys.readouterr().err
 
 
@@ -252,7 +252,7 @@ def test_watch_fabric_dir_replay_fails_when_shards_missing(tmp_path, capsys):
 
 
 def test_watch_directory_without_a_job_is_a_clean_error(tmp_path, capsys):
-    assert watch_file(tmp_path, out=io.StringIO()) == 2
+    assert watch_file(tmp_path, out=io.StringIO()) == 1
     assert "no fabric job" in capsys.readouterr().err
 
 

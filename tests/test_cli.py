@@ -151,6 +151,14 @@ def test_sweep_bad_spec_is_a_clean_error(tmp_path, capsys):
     assert "--workers must be >= 1" in capsys.readouterr().err
 
 
+def test_sweep_instrumentation_flags_are_mutually_exclusive(tmp_path, capsys):
+    assert main(["sweep", "--preset", "smoke", "--lineage", "--ledger"]) == 2
+    assert "mutually exclusive" in capsys.readouterr().err
+    assert main(["sweep", "--preset", "smoke", "--lineage",
+                 "--audit", str(tmp_path / "audit")]) == 2
+    assert "mutually exclusive" in capsys.readouterr().err
+
+
 def test_sweep_fig2_preset_emits_penalty_and_energy_tables(capsys):
     rc = main(
         ["sweep", "--preset", "fig2", "--apps", "jacobi2d", "--cores", "4",
@@ -376,7 +384,7 @@ def test_watch_replays_a_jsonl_progress_file(tmp_path, capsys):
     assert "sweep smoke — 4/4 points" in out
     assert "100.0%" in out
 
-    assert main(["watch", str(tmp_path / "nope.jsonl")]) == 2
+    assert main(["watch", str(tmp_path / "nope.jsonl")]) == 1
     assert "no progress file" in capsys.readouterr().err
 
     assert main(["watch", str(jsonl), "--interval", "0"]) == 2
