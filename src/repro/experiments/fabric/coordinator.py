@@ -253,7 +253,7 @@ def run_fabric_sweep(
 
     if workers < 0:
         raise ValueError(f"workers must be >= 0, got {workers}")
-    if backend not in ("auto", "events", "fast"):
+    if backend not in ("auto", "events", "fast", "batch"):
         raise ValueError(f"unknown backend {backend!r}")
     if num_shards is not None and shard_size is not None:
         raise ValueError("num_shards and shard_size are mutually exclusive")

@@ -110,13 +110,27 @@ def run_scenario(
     * ``"fast"`` — the vectorized fast path (:mod:`repro.sim.fastpath`);
       raises :class:`~repro.sim.fastpath.FastpathUnsupported` if the
       scenario needs per-event artifacts;
+    * ``"batch"`` — the structure-of-arrays batch backend
+      (:mod:`repro.sim.batch`); for a single scenario this is a batch of
+      one, so it shares the fast path's support envelope. Sweeps are
+      where batching pays: :func:`repro.experiments.sweep.run_sweep`
+      executes whole shape-homogeneous point groups per batch call;
     * ``"auto"`` (default) — the fast path when supported, else events.
 
-    The two backends are bit-identical on every result field; the parity
+    All backends are bit-identical on every result field; the parity
     suite (``tests/experiments/test_backend_parity.py``) enforces this.
     """
-    if backend not in ("auto", "events", "fast"):
+    if backend not in ("auto", "events", "fast", "batch"):
         raise ValueError(f"unknown backend {backend!r}")
+    if backend == "batch":
+        from repro.sim.batch import run_scenarios_batch
+
+        return run_scenarios_batch(
+            [scenario],
+            telemetries=[telemetry],
+            ledgers=[ledger],
+            lineages=[lineage],
+        )[0]
     if backend != "events":
         from repro.sim.fastpath import (
             fastpath_unsupported_reason,

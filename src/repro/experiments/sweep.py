@@ -507,8 +507,24 @@ def run_shard(
     callers can interleave progress events, cache writes and fault
     boundaries between points. ``worker`` overrides the default
     ``pid:<n>`` provenance tag.
+
+    ``backend="batch"`` trades that laziness for throughput: the whole
+    shard's scenarios are built up front, grouped by shape signature
+    (:func:`repro.sim.batch.batch_groups`) and executed as single batch
+    calls sharing one process and one work table per group — the first
+    pull therefore simulates the entire shard. Tuples still come back
+    one per point, in shard order, bit-identical to the lazy path.
     """
     tag = worker if worker is not None else f"pid:{os.getpid()}"
+    if backend == "batch":
+        from repro.sim.batch import run_scenarios_batch
+
+        scenarios = [build_scenario(params) for _, params in shard_points]
+        walls = [0.0] * len(scenarios)
+        results = run_scenarios_batch(scenarios, walls=walls)
+        for (index, _), result, wall in zip(shard_points, results, walls):
+            yield index, summarize_result(result).to_dict(), wall, tag
+        return
     for index, params in shard_points:
         t0 = time.perf_counter()
         summary = run_point(params, backend=backend)
@@ -767,12 +783,17 @@ def run_sweep(
         ``run_id`` is emitted. Ingest is strictly post-hoc — the
         per-point execution path never sees the registry.
     backend:
-        Simulation backend for executed points (``"auto"``, ``"events"``
-        or ``"fast"``; see :func:`repro.experiments.runner.run_scenario`).
-        Summaries are bit-identical across backends, so the cache key —
-        and therefore hits — are backend-independent. Audited points
-        (``audit_dir``) require per-task tracing and always run on the
-        event engine under ``"auto"``.
+        Simulation backend for executed points (``"auto"``, ``"events"``,
+        ``"fast"`` or ``"batch"``; see
+        :func:`repro.experiments.runner.run_scenario`). ``"batch"``
+        executes shape-homogeneous point groups as single
+        structure-of-arrays batch calls (:mod:`repro.sim.batch`) instead
+        of one simulation per point; heterogeneous points degrade to the
+        per-point fast path. Summaries are bit-identical across
+        backends, so the cache key — and therefore hits — are
+        backend-independent. Audited points (``audit_dir``) require
+        per-task tracing and always run on the event engine under
+        ``"auto"``.
     driver:
         ``"local"`` (default) executes here — in-process or via a
         process pool; ``"fabric"`` delegates to the distributed
@@ -856,7 +877,7 @@ def run_sweep(
         raise ValueError("fabric_dir/fabric_options require driver='fabric'")
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
-    if backend not in ("auto", "events", "fast"):
+    if backend not in ("auto", "events", "fast", "batch"):
         raise ValueError(f"unknown backend {backend!r}")
     log = log if log is not None else EventLog()
     t_start = time.perf_counter()

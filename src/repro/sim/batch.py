@@ -1,0 +1,211 @@
+"""Batched structure-of-arrays execution of shape-homogeneous scenarios.
+
+``run_sweep(..., backend="batch")`` hands whole groups of sweep points to
+this module instead of simulating them one process-call at a time. Points
+are grouped by *shape signature* — everything that determines the work
+arrays and the event structure of a run (application model parameters,
+core counts, iteration counts, background placement, the network and
+testbed shape) — while the axes a sweep typically varies per point
+(balancer strategy, LB period, epsilon, decision overhead, background
+weight) stay free per lane. Each group is laid out structure-of-arrays:
+the per-chare, per-iteration work table ``W[chare, iteration]`` is
+materialised exactly once with the same float expressions the chares
+would evaluate themselves, and every lane of the group executes against
+that shared table on the analytic fast path
+(:func:`repro.sim.fastpath.run_scenario_fast`), which folds whole
+iteration blocks with vectorized NumPy prefix sums.
+
+Bit-exactness contract
+----------------------
+Sharing the table is a pure common-subexpression elimination: chare work
+is a deterministic function of the model's scalar parameters and the
+``(chare index, iteration)`` pair, so lane *i*'s chare would compute the
+identical IEEE-754 double the table already holds. Per-lane results are
+therefore split back out bit-identical to the ``events`` backend on
+every field — the parity suite
+(``tests/experiments/test_backend_parity.py``) enforces ``==`` on
+summaries, audit, ledger and lineage payloads.
+
+Degradation
+-----------
+A scenario whose model carries non-scalar state (e.g. a
+:class:`~repro.apps.synthetic.SyntheticApp` with a callable work script)
+or whose shape matches no other point forms a singleton group and simply
+runs on the per-point fast path — correct, just without the shared
+table. ``batch_groups`` exposes the grouping so callers (the CLI) can
+warn when a preset is shape-heterogeneous and batching buys nothing.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.scenario import Scenario
+
+__all__ = ["batch_groups", "batch_group_indices", "run_scenarios_batch"]
+
+#: Model attribute types that are safe to hash into a shape signature:
+#: the work arrays they parameterise are pure functions of these values.
+_SCALAR_TYPES = (bool, int, float, str, type(None))
+
+
+def _model_signature(model: Any) -> Tuple[Any, ...]:
+    """Hashable identity of a model's work-determining parameters.
+
+    Walks the instance dict; scalar attributes (and flat tuples/lists of
+    scalars) enter the signature by value, so two model instances with
+    equal parameters — the common case across sweep points — compare
+    equal. Any other attribute (callables, arrays, nested state) makes
+    the model unbatchable: the signature degrades to object identity and
+    the scenario lands in a singleton group.
+    """
+    attrs: List[Tuple[str, Any]] = []
+    for name, value in sorted(vars(model).items()):
+        if isinstance(value, _SCALAR_TYPES):
+            attrs.append((name, value))
+        elif isinstance(value, (tuple, list)) and all(
+            isinstance(v, _SCALAR_TYPES) for v in value
+        ):
+            attrs.append((name, tuple(value)))
+        else:
+            return ("<unbatchable>", id(model))
+    return (type(model).__name__, tuple(attrs))
+
+
+def _shape_signature(scenario: Scenario) -> Tuple[Any, ...]:
+    """Everything that must match for two scenarios to share one batch.
+
+    Deliberately *excluded* — these vary per lane within a group:
+    ``balancer``, ``policy`` (period / epsilon / decision overhead) and
+    the background job's ``weight`` and ``iterations`` (sweep presets
+    size the background run from its weight, so its length is
+    weight-coupled; the shared table is simply built to the group's
+    longest background run and shorter lanes read a prefix). They steer
+    *when* and *how long* work runs, never what one iteration of it
+    costs, so the shared table stays valid.
+    """
+    bg_sig = None
+    if scenario.bg is not None:
+        bg_sig = (
+            _model_signature(scenario.bg.model),
+            tuple(scenario.bg.core_ids),
+            scenario.bg.start,
+        )
+    return (
+        _model_signature(scenario.app),
+        scenario.num_cores,
+        scenario.iterations,
+        bg_sig,
+        scenario.cores_per_node,
+        scenario.tracing,
+        scenario.record_intervals,
+        scenario.use_comm_graph,
+        _model_signature(scenario.net),
+    )
+
+
+def batch_group_indices(scenarios: Sequence[Scenario]) -> List[List[int]]:
+    """Partition ``scenarios`` into shape-homogeneous index groups.
+
+    Groups appear in first-occurrence order; within a group, indices
+    keep their original order — so flattening the groups and sorting by
+    index reproduces the input order exactly.
+    """
+    groups: Dict[Tuple[Any, ...], List[int]] = {}
+    for i, scenario in enumerate(scenarios):
+        groups.setdefault(_shape_signature(scenario), []).append(i)
+    return list(groups.values())
+
+
+def batch_groups(scenarios: Sequence[Scenario]) -> List[List[Scenario]]:
+    """Partition ``scenarios`` into shape-homogeneous groups."""
+    return [
+        [scenarios[i] for i in group]
+        for group in batch_group_indices(scenarios)
+    ]
+
+
+def _build_work_tables(
+    group: Sequence[Scenario],
+) -> Dict[str, Dict[Any, List[float]]]:
+    """Materialise the shared ``W[chare, iteration]`` tables for a group.
+
+    Built from a fresh chare array of the group's first lane — every
+    entry is the exact float the lane's own chare would return from
+    ``work(iteration)``, evaluated once instead of once per lane. The
+    background table spans the group's longest background run (its
+    length is weight-coupled and therefore lane-varying).
+    """
+
+    def table(model: Any, num_cores: int, iterations: int) -> Dict[Any, List[float]]:
+        return {
+            chare.key: [chare.work(it) for it in range(iterations)]
+            for chare in model.build_array(num_cores)
+        }
+
+    first = group[0]
+    tables = {"app": table(first.app, first.num_cores, first.iterations)}
+    if first.bg is not None:
+        tables["bg"] = table(
+            first.bg.model,
+            len(first.bg.core_ids),
+            max(sc.bg.iterations for sc in group),
+        )
+    return tables
+
+
+def run_scenarios_batch(
+    scenarios: Sequence[Scenario],
+    *,
+    telemetries: Optional[Sequence[Any]] = None,
+    ledgers: Optional[Sequence[Any]] = None,
+    lineages: Optional[Sequence[Any]] = None,
+    walls: Optional[List[float]] = None,
+):
+    """Execute ``scenarios`` as shape-homogeneous batches.
+
+    Returns per-scenario
+    :class:`~repro.experiments.runner.ExperimentResult` objects in input
+    order, each bit-identical to the ``events`` backend. The optional
+    ``telemetries`` / ``ledgers`` / ``lineages`` sequences are parallel
+    to ``scenarios`` (``None`` entries for lanes without instrumentation)
+    and behave exactly as the corresponding keyword of
+    :func:`~repro.experiments.runner.run_scenario`. ``walls``, when
+    given, must be a pre-sized list parallel to ``scenarios``; each
+    lane's host wall-clock (excluding shared table construction) is
+    written into it.
+
+    Raises
+    ------
+    FastpathUnsupported
+        If any scenario needs per-event artifacts (tracing, intervals) —
+        same contract as the fast path.
+    """
+    from repro.sim.fastpath import run_scenario_fast
+
+    n = len(scenarios)
+    telemetries = telemetries if telemetries is not None else [None] * n
+    ledgers = ledgers if ledgers is not None else [None] * n
+    lineages = lineages if lineages is not None else [None] * n
+    results: List[Any] = [None] * n
+    for group in batch_group_indices(scenarios):
+        # singleton groups skip table construction: building W for one
+        # lane costs exactly what the lane's own chares would
+        tables = (
+            _build_work_tables([scenarios[i] for i in group])
+            if len(group) > 1
+            else None
+        )
+        for i in group:
+            t0 = time.perf_counter()
+            results[i] = run_scenario_fast(
+                scenarios[i],
+                telemetry=telemetries[i],
+                ledger=ledgers[i],
+                lineage=lineages[i],
+                _work_tables=tables,
+            )
+            if walls is not None:
+                walls[i] = time.perf_counter() - t0
+    return results

@@ -29,10 +29,25 @@ same primitive operations, so IEEE-754 produces the same bits:
   re-projection (``remaining > 1e-9`` at the projected completion) is
   detected from the residuals and re-run in exact scalar form.
 * **Contended cores** (application and background sharing a core, the
-  paper's Figure 1 mechanism): replayed change-by-change with the exact
-  accrual arithmetic of :class:`~repro.sim.cpu.SharedCore._accrue`, one
-  candidate completion event per scheduling change instead of one event
-  per runnable process.
+  paper's Figure 1 mechanism): advanced by an *analytic contention fold*.
+  Under proportional sharing with a piecewise-constant runnable set the
+  per-iteration advancement has a closed form: while the share split is
+  constant, a chain of tasks with demands ``d_k`` on a core whose job
+  holds share fraction ``f = w / Σw`` completes at
+  ``e_k = e_{k-1} + d_k / (f · speed)`` — the same prefix sum the solo
+  fold uses, evaluated with the engine's exact candidate/accrual float
+  expressions (vectorized via ``np.add.accumulate`` for long chains, a
+  scalar loop otherwise). Share-count change points that are *known
+  between LB steps* (a background task completing or re-dispatching at
+  its own barrier) are processed inline at their exact times, so
+  constant-share and piecewise-constant regimes never touch the event
+  heap. The fold stops at its *horizon* — the earliest pending heap
+  event that could affect the core (an irregular background
+  arrival/departure, another core's cross-job cascade) — and hands the
+  remainder to the exact event replay, one candidate completion per
+  scheduling change, with the same accrual arithmetic as
+  :class:`~repro.sim.cpu.SharedCore._accrue`. Correctness never depends
+  on the horizon being tight.
 * **Everything else** (communication delays, LB policy/strategy, LB
   database, migration application, telemetry audit records, power model)
   is the *same code* the event engine uses — shared helpers and the real
@@ -88,6 +103,10 @@ ChareKey = Tuple[str, int]
 #: Below this many tasks the scalar chain fold beats NumPy call overhead.
 _VEC_MIN = 16
 
+#: Below this many remaining iterations the scalar batched loop beats the
+#: fixed NumPy setup cost of the whole-run iteration fold.
+_BATCH_VEC_MIN = 8
+
 # event kinds (heap entries are (time, seq, kind, obj, arg) tuples; the
 # unique seq guarantees comparisons never reach obj)
 _EV_LAUNCH = 0
@@ -116,15 +135,24 @@ def fastpath_unsupported_reason(scenario: Scenario) -> Optional[str]:
 class _FastSim:
     """Minimal clock + event heap shared by all fast jobs of one run."""
 
-    __slots__ = ("now", "_heap", "_seq")
+    __slots__ = ("now", "_heap", "_seq", "min_push")
 
     def __init__(self) -> None:
         self.now: float = 0.0
         self._heap: List[tuple] = []
         self._seq: int = 0
+        # watermark of the earliest push since the last reset — lets the
+        # contended fold update its horizon incrementally after an inline
+        # drain (the only new events then are the drained job's next
+        # BEGIN/LB and the survivor candidate, all of which qualify)
+        self.min_push: float = 0.0
 
     def push(self, time: float, kind: int, obj, arg) -> None:
         self._seq += 1
+        if kind == _EV_ARRIVE:
+            obj._pending_arrives += 1
+        if time < self.min_push:
+            self.min_push = time
         heapq.heappush(self._heap, (time, self._seq, kind, obj, arg))
 
     def run(self) -> None:
@@ -140,6 +168,7 @@ class _FastSim:
                     obj.on_completion(time)
             elif kind == _EV_ARRIVE:
                 self.now = time
+                obj._pending_arrives -= 1
                 obj._core_drained(time)
             elif kind == _EV_BEGIN:
                 self.now = time
@@ -347,6 +376,7 @@ class _FastCore:
         if p.remaining > _COMPLETION_EPS:
             # projection landed a hair early (float round-off): re-project
             self.change(t)
+            p.job._fold_resume()
             return
         p.remaining = 0.0
         procs.pop(self._cand_proc)
@@ -389,12 +419,16 @@ class _FastCore:
             p.started_at = t
             procs.append(p)
             self.change(t)
+            # a dispatch is a change point: try to fold the next
+            # constant-share span of the chain analytically
+            job._fold_resume()
             return
         job._core_drained(t)
         if self.version == v and procs:
             # the completion cascade did not dispatch onto this core:
             # re-project the surviving co-runner ourselves
             self.change(t)
+            procs[self._cand_proc].job._fold_resume()
 
 
 class _FastJob:
@@ -443,6 +477,7 @@ class _FastJob:
         self._iter_core_wall: Dict[int, float] = {}
         self._arrived = 0
         self._expected = 0
+        self._pending_arrives = 0
         self.finished_at: Optional[float] = None
         self.iteration_times: List[float] = []
         self.iteration_imbalance: List[float] = []
@@ -578,6 +613,7 @@ class _FastJob:
             self._rebuild_percore()
         sim = self.sim
         empty = 0
+        contended: List[_FastCore] = []
         for rank, cid in enumerate(self.core_ids):
             keys = self._percore_keys[cid]
             if not keys:
@@ -592,8 +628,11 @@ class _FastJob:
                 sim.push(end, _EV_ARRIVE, self, 0)
             else:
                 self._dispatch(cid, 0, T, rank)
+                contended.append(core)
         for _ in range(empty):  # object-less cores arrive instantly
             self._core_drained(T)
+        if contended:
+            self._fold_contended_cores(contended)
 
     # -- solo-analytic advancement -------------------------------------
     def _run_solo_core(
@@ -779,6 +818,452 @@ class _FastJob:
         core.procs.append(p)
         core.change(t)
 
+    # -- analytic contention fold ---------------------------------------
+    def _fold_horizon(self, exclude, bail: float = -1.0) -> float:
+        """Earliest pending heap event that could affect a folded core.
+
+        The fold may advance the cores in ``exclude`` analytically while
+        every projected completion lands strictly below this time.
+        Skipped (they cannot influence the fold):
+
+        * completion candidates of the folded cores themselves — the fold
+          reproduces and invalidates them, all owners included;
+        * stale candidates anywhere (version mismatch — they are no-ops);
+        * this job's own barrier arrivals — they only count cores in, and
+          the barrier needs the folded cores' chains to end first, which
+          always happens at or beyond the fold's current position.
+
+        Everything else (another job's completions on outside cores,
+        arrivals, iteration begins, LB steps, launches) bounds the fold:
+        any cascade that could dispatch onto or read a folded core starts
+        at one of those events. Correctness never depends on this bound
+        being tight — a conservative horizon only hands more of the
+        iteration to the exact event replay.
+
+        ``bail``: the caller's earliest projected completion. Any
+        qualifying event at or below it already blocks the fold, so the
+        scan may return it immediately instead of finishing the minimum —
+        the returned value is only ever compared against ``bail`` then.
+        """
+        h = float("inf")
+        for time, _seq, kind, obj, arg in self.sim._heap:
+            if time >= h:
+                continue
+            if kind == _EV_CMPL:
+                if obj in exclude or arg != obj.version:
+                    continue
+            elif kind == _EV_ARRIVE and obj is self:
+                continue
+            if time <= bail:
+                return time
+            h = time
+        return h
+
+    def _fold_resume(self) -> None:
+        """Re-enter the fold after a replayed change point (on_completion)."""
+        cores = self.cores
+        folds = []
+        for cid in self.core_ids:
+            core = cores[cid]
+            if core.procs:
+                folds.append(core)
+        self._fold_contended_cores(folds)
+
+    def _fold_contended_cores(self, folds: List[_FastCore]) -> None:
+        """Advance this job's contended cores analytically, jointly.
+
+        Mirrors the event engine's candidate/accrual float expressions
+        one completion at a time — but inline, without heap traffic —
+        always processing the globally earliest candidate among the
+        folded cores, so cross-core chronology (barrier drains, sibling
+        cascades) is exact. Runs while every projected completion lands
+        strictly before the horizon; a co-runner's chain ending is a
+        share-count change point that stops the fold (its barrier drain
+        must happen in heap order against its other cores), after which
+        ``on_completion`` re-enters for the next constant-share span.
+
+        Cores are eligible while this job still has a live task chain on
+        them (our barrier then cannot fire mid-fold, bounding every
+        future dispatch below our chain ends) and while their accrual
+        cursor sits exactly at the pending candidate's base (an
+        instrumentation sync can advance it past; only the replay can
+        fire such a candidate exactly).
+        """
+        active: List[_FastCore] = []
+        for core in folds:
+            if not core.procs or core.last != core._cand_sched:
+                continue
+            for q in core.procs:
+                if q.job is self:
+                    active.append(core)
+                    break
+        if not active:
+            return
+        sim = self.sim
+        exclude = set(active)
+        # the horizon scan is deferred until the first candidate is
+        # known, so the common blocked entry (an earlier heap event
+        # already bounds every candidate) pays one aborted scan instead
+        # of a full minimum
+        horizon = None
+        touched = set()
+        vec_tried = set()
+        # cached per-core candidate (t, i); None = recompute. Only the
+        # core just processed can change its candidate — inline drains
+        # and barrier pushes never touch another core's runnable set.
+        cands: List[Optional[Tuple[float, int]]] = [None] * len(active)
+        while active:
+            # globally earliest candidate among the folded cores;
+            # per-core selection is verbatim change() arithmetic
+            best_k = -1
+            best_i = 0
+            best_t = 0.0
+            for k in range(len(active)):
+                cand = cands[k]
+                if cand is None:
+                    core = active[k]
+                    procs = core.procs
+                    now = core.last
+                    speed = core.speed
+                    n = len(procs)
+                    if n == 1:
+                        p = procs[0]
+                        rem = p.remaining
+                        if rem < 0.0:
+                            rem = 0.0
+                        i = 0
+                        t = now + rem / speed
+                    elif n == 2:
+                        p0 = procs[0]
+                        p1 = procs[1]
+                        total_w = p0.weight + p1.weight
+                        rem = p0.remaining
+                        if rem < 0.0:
+                            rem = 0.0
+                        t0 = now + rem / ((p0.weight / total_w) * speed)
+                        rem = p1.remaining
+                        if rem < 0.0:
+                            rem = 0.0
+                        t1 = now + rem / ((p1.weight / total_w) * speed)
+                        if t1 < t0:  # strict: first-inserted wins ties
+                            i = 1
+                            t = t1
+                        else:
+                            i = 0
+                            t = t0
+                    else:
+                        total_w = 0.0
+                        for p in procs:
+                            total_w += p.weight
+                        tbest = None
+                        i = 0
+                        for j, p in enumerate(procs):
+                            rate = (p.weight / total_w) * speed
+                            rem = p.remaining
+                            if rem < 0.0:
+                                rem = 0.0
+                            tj = now + rem / rate
+                            if tbest is None or tj < tbest:
+                                tbest = tj
+                                i = j
+                        t = tbest
+                    cand = (t, i)
+                    cands[k] = cand
+                t, i = cand
+                if best_k < 0 or t < best_t:
+                    best_k = k
+                    best_i = i
+                    best_t = t
+            core = active[best_k]
+            i = best_i
+            t = best_t
+            if horizon is None:
+                horizon = self._fold_horizon(exclude, t)
+            if not t < horizon:  # strict: same-time heap events fire first
+                break
+            if len(active) == 1 and core not in vec_tried:
+                # single-core span: try the vectorized whole-chain fold
+                vec_tried.add(core)
+                if self._fold_contended_vec(core, horizon):
+                    touched.discard(core)
+                    break
+                # nothing committed: fall through to the scalar fold of
+                # the already-selected candidate
+            cands[best_k] = None
+            core.version += 1  # any engine-pending candidate is now stale
+            touched.add(core)
+            sched = core.last
+            sim.now = t  # inline callbacks (finish, power) read the clock
+            if core.last != t:  # zero-width accruals are no-ops
+                core.accrue(t)
+            procs = core.procs
+            p = procs[i]
+            if p.remaining > _COMPLETION_EPS:
+                # engine re-projection: recompute the candidate at t
+                continue
+            # completion bookkeeping: verbatim on_completion transcription
+            p.remaining = 0.0
+            procs.pop(i)
+            core.version += 1
+            job = p.job
+            cpu = p.cpu_time
+            ch = p.chare
+            ch.executions += 1
+            ch.total_cpu_time += cpu
+            tc = job.db._task_cpu
+            tc[p.key] = tc.get(p.key, 0.0) + cpu
+            if job.lineage is not None:
+                job.lineage.record_sample(p.key, job._iteration, p.cid, cpu)
+            job._iter_core_wall[p.cid] += t - p.started_at
+            job._completions.append((t, sched, p.rank, cpu))
+            keys = p.keys
+            pos = p.qpos
+            if pos < len(keys):
+                # dispatch the chain's next task, recycling the proc
+                p.qpos = pos + 1
+                nxt = p.chs[pos]
+                d = nxt.work(job._iteration)
+                if d < 0:
+                    raise ValueError(
+                        f"{nxt!r}.work({job._iteration}) returned negative {d}"
+                    )
+                p.key = keys[pos]
+                p.chare = nxt
+                p.remaining = d
+                p.cpu_time = 0.0
+                p.started_at = t
+                procs.append(p)
+                continue
+            if job is self:
+                # our chain on this core ended. The engine drains
+                # synchronously at the completion event; here earlier
+                # *own* arrivals may still sit in the heap (excluded from
+                # the horizon because they commute with the fold, not
+                # with the barrier), so by default the arrival goes
+                # through the heap to keep barrier chronology exact —
+                # unless the barrier-safety gate below proves the drain
+                # (and barrier) can fire inline. Either way the core
+                # leaves the fold in engine-pending state: survivor
+                # candidate projected, and its future completions bound
+                # the rest of the fold.
+                sim.min_push = float("inf")
+                if procs:
+                    core.change(t)
+                del active[best_k]
+                del cands[best_k]
+                exclude.discard(core)
+                touched.discard(core)
+                if (
+                    self.balancer is None
+                    and self.telemetry is None
+                    and self.ledger is None
+                    and self.lineage is None
+                    and not self._on_finish
+                    and self._pending_arrives == 0
+                ):
+                    jcores = self.cores
+                    inline = True
+                    for jcid in self.core_ids:
+                        jc = jcores[jcid]
+                        if jc in exclude:
+                            continue
+                        for q in jc.procs:
+                            if q.job is self:
+                                inline = False
+                                break
+                        if not inline:
+                            break
+                else:
+                    inline = False
+                if inline:
+                    # everything pushed since the reset (the survivor
+                    # candidate, our next BEGIN/LB) qualifies: tighten
+                    # the horizon incrementally instead of rescanning
+                    self._core_drained(t)
+                    if sim.min_push < horizon:
+                        horizon = sim.min_push
+                else:
+                    # the pushed self-arrival needs a real rescan (it is
+                    # excluded from the horizon by design)
+                    sim.push(t, _EV_ARRIVE, self, 0)
+                    horizon = self._fold_horizon(exclude)
+                continue
+            # another job's chain ended — a share-count change point. If
+            # the job is instrumentation-free (no balancer, telemetry,
+            # ledger, lineage, or finish callbacks) its barrier machinery
+            # touches no core state, so the drain — and the barrier, when
+            # this is the last arrival — can fire inline: the fold
+            # processes completions in global time order, so the barrier
+            # fires at the true max arrival exactly as the engine would,
+            # and the next-iteration BEGIN lands on the heap where the
+            # horizon rescan picks it up. That needs every remaining
+            # arrival source (live chains, pending heap arrivals) to be
+            # under this fold's control; otherwise an earlier fold may
+            # already have drained another core at a *later* time, and
+            # only the heap restores exact drain order — push the arrival
+            # and stop this constant-share span at the change point
+            # (on_completion then re-enters the fold for the next span).
+            if (
+                job.balancer is None
+                and job.telemetry is None
+                and job.ledger is None
+                and job.lineage is None
+                and not job._on_finish
+                and job._pending_arrives == 0
+            ):
+                jcores = job.cores
+                inline = True
+                for jcid in job.core_ids:
+                    jc = jcores[jcid]
+                    if jc in exclude:
+                        continue
+                    for q in jc.procs:
+                        if q.job is job:
+                            inline = False
+                            break
+                    if not inline:
+                        break
+                if inline:
+                    sim.min_push = float("inf")
+                    job._core_drained(t)
+                    if sim.min_push < horizon:
+                        horizon = sim.min_push
+                    continue
+            sim.push(t, _EV_ARRIVE, job, 0)
+            break
+        for core in active:
+            if core in touched:
+                # restore the engine-pending state: project the surviving
+                # runnable set exactly as change() would have at core.last
+                core.change(core.last)
+
+    def _fold_contended_vec(self, core: _FastCore, horizon: float) -> bool:
+        """Vectorized two-runner fold: this job's whole chain in one shot.
+
+        The dominant contended shape — our freshly dispatched chain
+        sharing the core with one background task — admits the same
+        prefix-sum evaluation as the solo fold: while the share split is
+        constant the k-th task completes at ``e_k = e_{k-1} + d_k /
+        (f·speed)``. All-or-nothing: commits only when every projected
+        completion lands strictly before both the horizon and the
+        co-runner's candidate, no residual needs re-projection, and the
+        co-runner survives the whole span; otherwise falls back to the
+        scalar fold, which replays the engine arithmetic exactly.
+        """
+        procs = core.procs
+        if len(procs) != 2 or core.ledger is not None:
+            return False
+        p0 = procs[0]
+        p1 = procs[1]
+        if p0.job is self:
+            idx_a, pa, pb = 0, p0, p1
+        elif p1.job is self:
+            idx_a, pa, pb = 1, p1, p0
+        else:  # pragma: no cover - we always dispatch before folding
+            return False
+        if pa.cpu_time != 0.0:
+            return False
+        keys = pa.keys
+        chs = pa.chs
+        qpos = pa.qpos
+        n = 1 + len(keys) - qpos
+        if n < _VEC_MIN:
+            return False
+        iteration = self._iteration
+        works = np.empty(n)
+        works[0] = pa.remaining
+        for j in range(qpos, len(keys)):
+            d = chs[j].work(iteration)
+            if d < 0:
+                # the scalar fold re-runs work() and raises exactly as
+                # the engine's dispatch would
+                return False
+            works[j - qpos + 1] = d
+        total_w = p0.weight + p1.weight
+        speed = core.speed
+        fa = pa.weight / total_w
+        fb = pb.weight / total_w
+        rate_a = fa * speed
+        rate_b = fb * speed
+        arr = np.empty(n + 1)
+        arr[0] = core.last
+        arr[1:] = works / rate_a  # == change()'s rem / ((w/Σw)·speed)
+        ends_v = np.add.accumulate(arr)  # sequential left fold
+        if not float(ends_v[-1]) < horizon:
+            return False
+        dts = ends_v[1:] - ends_v[:-1]
+        shares_a = dts * fa  # == accrue()'s dt · (w/Σw), elementwise
+        if float(np.max(works - shares_a * speed)) > _COMPLETION_EPS:
+            # a residual would trigger the engine's re-projection
+            return False
+        shares_b = dts * fb
+        barr = np.empty(n + 1)
+        barr[0] = pb.remaining
+        barr[1:] = -(shares_b * speed)  # rem -= share·speed == rem + (-…)
+        remb = np.add.accumulate(barr)
+        if not bool(np.all(remb[:-1] > 0.0)):
+            return False  # the co-runner completes mid-span
+        # the co-runner's candidate at each change point must lose
+        # strictly (ties depend on insertion order — leave them exact)
+        tb = ends_v[:-1] + remb[:-1] / rate_b
+        if not bool(np.all(ends_v[1:] < tb)):
+            return False
+        # ---- commit: sequential-fold finals via prefix sums ------------
+        acc = np.empty(n + 1)
+        acc[0] = core.busy_time
+        acc[1:] = dts
+        core.busy_time = float(np.add.accumulate(acc)[-1])
+        cbo = core.cpu_by_owner
+        # per-owner folds in procs order: the engine's first accrual
+        # creates the dict keys in exactly this order
+        for p, shares in ((p0, shares_a if pa is p0 else shares_b),
+                          (p1, shares_a if pa is p1 else shares_b)):
+            acc[0] = cbo.get(p.owner, 0.0)
+            acc[1:] = shares
+            cbo[p.owner] = float(np.add.accumulate(acc)[-1])
+        acc[0] = pb.cpu_time
+        acc[1:] = shares_b
+        pb.cpu_time = float(np.add.accumulate(acc)[-1])
+        pb.remaining = float(remb[-1])
+        ends = ends_v[1:].tolist()
+        cpus = shares_a.tolist()
+        task_keys = [pa.key]
+        task_keys.extend(keys[qpos:])
+        task_chs = [pa.chare]
+        task_chs.extend(chs[qpos:])
+        tc = self.db._task_cpu
+        tc_get = tc.get
+        comps = self._completions
+        lin = self.lineage
+        cid = pa.cid
+        rank = pa.rank
+        wall = 0.0
+        prev = core.last
+        for j in range(n):
+            c = cpus[j]
+            e = ends[j]
+            ch = task_chs[j]
+            ch.executions += 1
+            ch.total_cpu_time += c
+            k = task_keys[j]
+            tc[k] = tc_get(k, 0.0) + c
+            if lin is not None:
+                lin.record_sample(k, iteration, cid, c)
+            wall += e - prev  # == t - started_at at each completion
+            comps.append((e, prev, rank, c))
+            prev = e
+        # pre-seeded 0.0 each iteration, so += wall folds identically
+        self._iter_core_wall[cid] += wall
+        end = ends[-1]
+        pa.remaining = 0.0
+        pa.qpos = len(keys)
+        core.version += 1
+        procs.pop(idx_a)
+        core.last = end
+        self.sim.push(end, _EV_ARRIVE, self, 0)
+        core.change(end)
+        return True
+
     # -- barrier --------------------------------------------------------
     def _core_drained(self, t: float) -> None:
         self._arrived += 1
@@ -863,6 +1348,18 @@ class _FastJob:
         cores = self.cores
         ledger = self.ledger
         lineage = self.lineage
+        if (
+            ledger is None
+            and lineage is None
+            and self.telemetry is None
+            and self.balancer is None
+            and self._total_iterations - iteration >= _BATCH_VEC_MIN
+        ):
+            if self._percore_dirty:
+                self._rebuild_percore()
+            if all(len(self._percore_keys[cid]) == 1 for cid in core_ids):
+                if self._run_batched_vec(iteration, T):
+                    return
         while True:
             if ledger is not None:
                 ledger.mark_iteration(iteration, T)
@@ -902,6 +1399,131 @@ class _FastJob:
             else:
                 T = t + delay
             iteration = completed
+
+    def _run_batched_vec(self, iteration: int, T: float) -> bool:
+        """Fold every remaining iteration of the run in one NumPy pass.
+
+        The analytic closed form for the solo constant-share regime: with
+        one task per core, core ``c``'s barrier arrival in iteration ``i``
+        is a single rounded addition ``T_i + d[i, c]``, and IEEE addition
+        is monotone, so the barrier ``t_i = max_c(T_i + d[i, c])`` equals
+        ``T_i + max_c d[i, c]`` bit-for-bit. The whole run therefore
+        telescopes into one interleaved left fold
+
+            T_0, t_0 = T_0 + m_0, T_1 = t_0 + delay, t_1 = T_1 + m_1, ...
+
+        which ``np.add.accumulate`` evaluates in the engine's exact
+        rounding order. Every state commit below replays the scalar
+        loop's float expressions element-wise (bitwise identical for
+        float64), with sequential ``+=`` chains replaced by accumulates
+        over the same operand sequences.
+
+        Only entered for an instrumentation-free job (no balancer,
+        telemetry, ledger, or lineage) with exactly one chare per core —
+        the shape of every background job, whose post-application tail
+        dominates replay time. Returns False (committing nothing) when a
+        work value is negative or a completion residual exceeds the
+        engine's epsilon; the scalar loop then replays exactly, engine
+        re-projections and error state included.
+        """
+        core_ids = self.core_ids
+        cores = self.cores
+        n_cores = len(core_ids)
+        n_it = self._total_iterations - iteration
+        chs = [self._percore_chares[cid][0] for cid in core_ids]
+        keys = [self._percore_keys[cid][0] for cid in core_ids]
+        # work table in the scalar loop's exact call order
+        # (iteration-major, core-minor) — work() is re-entered by the
+        # scalar replay on bail, so bail before committing anything
+        d = np.empty((n_it, n_cores))
+        for i in range(n_it):
+            it = iteration + i
+            row = d[i]
+            for c in range(n_cores):
+                w = chs[c].work(it)
+                if w < 0.0:
+                    return False
+                row[c] = w
+        delay = self._comm_delay()
+        m = np.max(d, axis=1)
+        # interleaved fold: T_i = acc[2i], barrier t_i = acc[2i + 1]
+        arr = np.empty(2 * n_it)
+        arr[0] = T
+        arr[1::2] = m
+        arr[2::2] = delay
+        acc = np.add.accumulate(arr)
+        starts = acc[0::2]
+        barriers = acc[1::2]
+        ends = starts[:, None] + d
+        cpus = ends - starts[:, None]
+        if float(np.max(d - cpus)) > _COMPLETION_EPS:
+            return False  # the engine would re-project: replay instead
+        if not np.array_equal(np.max(ends, axis=1), barriers):
+            return False  # monotonicity guard — never expected to fire
+        name = self.name
+        tc = self.db._task_cpu
+        # completion order: chronological, ties broken by core rank —
+        # the (t, sched, rank, cpu) tuple sort with sched == T_i
+        it_idx = np.repeat(np.arange(n_it), n_cores)
+        order = np.lexsort(
+            (np.tile(np.arange(n_cores), n_it), ends.ravel(), it_idx)
+        )
+        fold = np.empty(n_it * n_cores + 1)
+        fold[0] = self.total_task_cpu_s
+        fold[1:] = cpus.ravel()[order]
+        self.total_task_cpu_s = float(np.add.accumulate(fold)[-1])
+        self.iteration_times.extend((barriers - starts).tolist())
+        # per-iteration imbalance: walls == cpus ((T + d) - T, the same
+        # expression), mean folds 0.0 + w_0 + w_1 + ... in core order
+        acc_w = np.zeros(n_it)
+        for c in range(n_cores):
+            acc_w = acc_w + cpus[:, c]
+        mean = acc_w / n_cores
+        pos = mean > 0.0
+        imb = np.where(
+            pos, np.max(cpus, axis=1) / np.where(pos, mean, 1.0), 1.0
+        )
+        self.iteration_imbalance.extend(imb.tolist())
+        scratch = np.empty(n_it + 1)
+        gaps = np.empty(n_it)
+        for c in range(n_cores):
+            cid = core_ids[c]
+            core = cores[cid]
+            col = cpus[:, c]
+            e_col = ends[:, c]
+            # idle gaps at dispatch: T_i - the core's cursor (zero-width
+            # gaps are skipped by the scalar path; x + 0.0 == x here)
+            gaps[0] = T - core.last
+            np.subtract(starts[1:], e_col[:-1], out=gaps[1:])
+            scratch[0] = core.idle_time
+            scratch[1:] = gaps
+            core.idle_time = float(np.add.accumulate(scratch)[-1])
+            scratch[0] = core.busy_time
+            scratch[1:] = col
+            core.busy_time = float(np.add.accumulate(scratch)[-1])
+            cbo = core.cpu_by_owner
+            scratch[0] = cbo.get(name, 0.0)
+            scratch[1:] = col
+            cbo[name] = float(np.add.accumulate(scratch)[-1])
+            ch = chs[c]
+            ch.executions += n_it
+            scratch[0] = ch.total_cpu_time
+            scratch[1:] = col
+            ch.total_cpu_time = float(np.add.accumulate(scratch)[-1])
+            k = keys[c]
+            scratch[0] = tc.get(k, 0.0)
+            scratch[1:] = col
+            tc[k] = float(np.add.accumulate(scratch)[-1])
+            core.last = float(e_col[-1])
+        self._iteration = iteration + n_it - 1
+        self._iter_started = float(starts[-1])
+        self._iter_core_wall = {
+            core_ids[c]: float(cpus[-1, c]) for c in range(n_cores)
+        }
+        t_final = float(barriers[-1])
+        self.sim.now = t_final
+        self._finish(t_final)
+        return True
 
     def _measure_imbalance(self) -> float:
         # _iter_core_wall is pre-seeded each iteration with every core id
@@ -1007,6 +1629,7 @@ def run_scenario_fast(
     telemetry: Optional[Telemetry] = None,
     ledger=None,
     lineage=None,
+    _work_tables=None,
 ):
     """Execute ``scenario`` on the fast path (see module docstring).
 
@@ -1018,6 +1641,13 @@ def run_scenario_fast(
     :class:`~repro.obs.lineage.LineageRecorder` to the application job;
     it observes per-chare load samples and LB migrations and is closed
     at application finish.
+
+    ``_work_tables`` (internal, set by :mod:`repro.sim.batch`) maps job
+    name (``"app"`` / ``"bg"``) to precomputed per-chare work rows
+    (``chare.key -> [work(0), work(1), ...]``). Rows are bound over the
+    chares' ``work`` methods — a pure common-subexpression elimination,
+    valid because every entry was produced by the identical float
+    expression the chare itself would evaluate.
 
     Returns the same :class:`~repro.experiments.runner.ExperimentResult`
     as :func:`~repro.experiments.runner.run_scenario`, bit-identical.
@@ -1100,6 +1730,15 @@ def run_scenario_fast(
             use_comm_graph=False,
             job_telemetry=None,
         )
+
+    if _work_tables is not None:
+        for jname, job in (("app", app), ("bg", bg)):
+            rows = _work_tables.get(jname) if job is not None else None
+            if rows:
+                for key, ch in job.chares.items():
+                    row = rows.get(key)
+                    if row is not None:
+                        ch.work = row.__getitem__
 
     if bg is not None:
         app.others.append(bg)

@@ -246,6 +246,268 @@ class TestLineageParity:
             _assert_results_identical(bare, lineaged)
 
 
+class TestContendedRegimeParity:
+    """The analytic contended regimes, pinned to exact ``==``.
+
+    These scenarios exercise the closed-form contention folds: a
+    constant-share background job spanning whole inter-LB windows
+    (``balancer="none"``: the share count on an interfered core never
+    changes mid-run except at background barriers) and piecewise-constant
+    share counts whose change points fall between LB steps (every
+    balancer; background arrivals/departures at its own barriers). The
+    fold must be indistinguishable from event replay on every field.
+    """
+
+    @pytest.mark.parametrize("bg_weight", [0.25, 1.0, 2.0])
+    def test_constant_share_whole_run(self, bg_weight):
+        # no balancer: the proportional share on the interfered cores is
+        # piecewise-constant with change points only at background
+        # iteration boundaries
+        params = {
+            "app": "jacobi2d",
+            "scale": 0.05,
+            "iterations": 8,
+            "cores": 2,  # every app core is interfered
+            "bg": True,
+            "bg_weight": bg_weight,
+            "balancer": "none",
+        }
+        res_e, res_f, _, _ = _run_both(params)
+        _assert_results_identical(res_e, res_f)
+
+    @pytest.mark.parametrize("bg_overlap", [0.5, 1.5, 3.0])
+    def test_bg_departure_mid_run(self, bg_overlap):
+        # overlap < 1: the background job drains mid-run (share count
+        # drops to one; the fold's solo stretch). overlap > 1: it spans
+        # the whole app run.
+        params = {
+            "app": "jacobi2d",
+            "scale": 0.05,
+            "iterations": 10,
+            "cores": 4,
+            "bg": True,
+            "bg_overlap": bg_overlap,
+            "balancer": "refine-vm",
+        }
+        res_e, res_f, _, _ = _run_both(params)
+        _assert_results_identical(res_e, res_f)
+
+    @pytest.mark.parametrize(
+        "balancer", ["none", "refine-vm", "refine", "greedy", "greedy-aware"]
+    )
+    def test_piecewise_share_all_balancers(self, balancer):
+        params = {
+            "app": "jacobi2d",
+            "scale": 0.05,
+            "iterations": 9,
+            "cores": 4,
+            "bg": True,
+            "bg_weight": 0.7,
+            "lb_period": 3,
+            "balancer": balancer,
+        }
+        res_e, res_f, _, _ = _run_both(params)
+        _assert_results_identical(res_e, res_f)
+
+    @pytest.mark.parametrize("app", ["jacobi2d", "wave2d", "mol3d"])
+    def test_piecewise_share_all_apps(self, app):
+        params = {
+            "app": app,
+            "scale": 0.05,
+            "iterations": 7,
+            "cores": 4,
+            "bg": True,
+            "bg_weight": 1.5,
+            "balancer": "refine-vm",
+        }
+        res_e, res_f, _, _ = _run_both(params)
+        _assert_results_identical(res_e, res_f)
+
+    def test_contended_audit_records_identical(self):
+        params = {
+            "app": "jacobi2d",
+            "scale": 0.05,
+            "iterations": 10,
+            "cores": 2,
+            "bg": True,
+            "bg_weight": 2.0,
+            "balancer": "refine-vm",
+        }
+        res_e, res_f, tel_e, tel_f = _run_both(params, telemetry=True)
+        _assert_results_identical(res_e, res_f)
+        assert len(tel_e.audit.records) > 0
+        assert tel_e.audit.records == tel_f.audit.records
+
+    def test_contended_ledger_identical(self):
+        params = {
+            "app": "jacobi2d",
+            "scale": 0.05,
+            "iterations": 10,
+            "cores": 2,
+            "bg": True,
+            "bg_weight": 0.5,
+            "balancer": "none",
+        }
+        res_e, res_f, led_e, led_f = _run_both_ledgered(params)
+        _assert_results_identical(res_e, res_f)
+        _assert_ledgers_identical(led_e, led_f)
+        assert led_e.conserved and led_e.residual_exact() == 0
+
+    def test_contended_lineage_identical(self):
+        params = {
+            "app": "jacobi2d",
+            "scale": 0.05,
+            "iterations": 10,
+            "cores": 2,
+            "bg": True,
+            "bg_weight": 1.0,
+            "balancer": "refine-vm",
+        }
+        res_e, res_f, pay_e, pay_f = _run_both_lineaged(params)
+        _assert_results_identical(res_e, res_f)
+        assert pay_e == pay_f
+
+
+class TestBatchBackendParity:
+    """The structure-of-arrays batch backend vs the event engine."""
+
+    def test_single_scenario_batch_bit_identical(self):
+        params = {
+            "app": "jacobi2d",
+            "scale": 0.05,
+            "iterations": 8,
+            "cores": 4,
+            "bg": True,
+            "balancer": "refine-vm",
+        }
+        res_e = run_scenario(build_scenario(params), backend="events")
+        res_b = run_scenario(build_scenario(params), backend="batch")
+        _assert_results_identical(res_e, res_b)
+
+    def test_smoke_sweep_batch_matches_serial(self):
+        se = run_sweep(smoke_spec(), workers=1, cache=None, backend="events")
+        sb = run_sweep(smoke_spec(), workers=1, cache=None, backend="batch")
+        assert se.summaries() == sb.summaries()
+
+    def test_homogeneous_group_split_regroup(self):
+        """One shape-homogeneous group executes as a single batch call
+        and the per-point results split back out bit-identical to
+        serial per-point event execution (order preserved)."""
+        from repro.experiments.sweep import SweepSpec
+        from repro.sim.batch import batch_groups
+
+        spec = SweepSpec(
+            name="bgweight-axis",
+            base={
+                "app": "jacobi2d",
+                "scale": 0.05,
+                "iterations": 6,
+                "cores": 4,
+                "bg": True,
+                "balancer": "refine-vm",
+            },
+            axes={"bg_weight": [0.25, 0.5, 1.0, 1.5, 2.0]},
+        )
+        points = spec.expand()
+        scenarios = [build_scenario(p.params) for p in points]
+        groups = batch_groups(scenarios)
+        assert len(groups) == 1 and len(groups[0]) == len(points)
+        sb = run_sweep(spec, workers=1, cache=None, backend="batch")
+        se = run_sweep(spec, workers=1, cache=None, backend="events")
+        assert sb.summaries() == se.summaries()
+        assert [r.index for r in sb.results] == [r.index for r in se.results]
+
+    def test_varying_epsilon_and_period_one_group(self):
+        from repro.experiments.sweep import SweepSpec
+        from repro.sim.batch import batch_groups
+
+        spec = SweepSpec(
+            name="eps-period-axes",
+            base={
+                "app": "jacobi2d",
+                "scale": 0.05,
+                "iterations": 6,
+                "cores": 4,
+                "bg": True,
+                "balancer": "refine-vm",
+            },
+            axes={"epsilon": [0.02, 0.1], "lb_period": [2, 5]},
+        )
+        scenarios = [build_scenario(p.params) for p in spec.expand()]
+        assert len(batch_groups(scenarios)) == 1
+        sb = run_sweep(spec, workers=1, cache=None, backend="batch")
+        se = run_sweep(spec, workers=1, cache=None, backend="events")
+        assert sb.summaries() == se.summaries()
+
+    def test_heterogeneous_spec_degrades_per_point(self):
+        # cores vary: no two points share a shape, so the batch backend
+        # degrades to per-point fastpath — results still bit-identical
+        from repro.experiments.sweep import SweepSpec
+        from repro.sim.batch import batch_groups
+
+        spec = SweepSpec(
+            name="cores-axis",
+            base={
+                "app": "jacobi2d",
+                "scale": 0.05,
+                "iterations": 5,
+                "bg": True,
+                "balancer": "refine-vm",
+            },
+            axes={"cores": [2, 4, 8]},
+        )
+        scenarios = [build_scenario(p.params) for p in spec.expand()]
+        assert all(len(g) == 1 for g in batch_groups(scenarios))
+        sb = run_sweep(spec, workers=1, cache=None, backend="batch")
+        se = run_sweep(spec, workers=1, cache=None, backend="events")
+        assert sb.summaries() == se.summaries()
+
+    def test_batch_extras_route_through_batch_backend(self):
+        """Ledger/lineage recompute paths honor backend="batch"."""
+        from repro.experiments.sweep import run_point_ledgered, run_point_lineaged
+
+        params = {
+            "app": "jacobi2d",
+            "scale": 0.05,
+            "iterations": 6,
+            "cores": 4,
+            "bg": True,
+            "balancer": "refine-vm",
+        }
+        sum_e, led_e = run_point_ledgered(params, backend="events")
+        sum_b, led_b = run_point_ledgered(params, backend="batch")
+        assert sum_e == sum_b and led_e == led_b
+        sum_e, lin_e = run_point_lineaged(params, backend="events")
+        sum_b, lin_b = run_point_lineaged(params, backend="batch")
+        assert sum_e == sum_b and lin_e == lin_b
+
+    def test_cached_point_extras_reexecute_on_requested_backend(self, tmp_path):
+        """A cache hit lacking extras re-executes through the *requested*
+        backend — including batch — not a hardwired events fallback."""
+        from repro.experiments.cache import ResultCache
+
+        spec = smoke_spec()
+        cache = ResultCache(tmp_path / "cache")
+        plain = run_sweep(spec, workers=1, cache=cache, backend="batch")
+        assert all(not r.cached for r in plain.results)
+        # warm cache, but ledger extras missing: every point re-executes,
+        # and it must do so on the batch backend (bit-identical summaries)
+        led = run_sweep(spec, workers=1, cache=cache, backend="batch", ledger=True)
+        assert all(not r.cached for r in led.results)
+        assert plain.summaries() == led.summaries()
+        assert all(r.ledger["conserved"] for r in led.results)
+
+    def test_batch_tracing_unsupported(self):
+        import dataclasses
+
+        sc = build_scenario(
+            {"app": "jacobi2d", "scale": 0.05, "iterations": 2, "cores": 4}
+        )
+        traced = dataclasses.replace(sc, tracing=True)
+        with pytest.raises(FastpathUnsupported):
+            run_scenario(traced, backend="batch")
+
+
 class TestBackendSelection:
     def test_unknown_backend_rejected(self):
         params = {"app": "jacobi2d", "scale": 0.05, "iterations": 2, "cores": 4}
@@ -344,3 +606,61 @@ def test_random_scenarios_lineage_identical(params):
     for step in pay_e["steps"]:
         assert step["oracle_max_s"] <= step["observed_max_s"]
         assert step["oracle_max_s"] <= step["nolb_max_s"]
+
+
+# ----------------------------------------------------------------------
+# Hypothesis: contended regimes (constant-share and piecewise-constant
+# proportional shares — the analytic contention folds), exact equality
+# ----------------------------------------------------------------------
+_contended_params = st.fixed_dictionaries(
+    {
+        "app": st.sampled_from(["jacobi2d", "wave2d", "mol3d"]),
+        "scale": st.sampled_from([0.02, 0.05, 0.08]),
+        "iterations": st.integers(min_value=1, max_value=12),
+        "cores": st.sampled_from([2, 4, 6, 8]),
+        "balancer": st.sampled_from(
+            ["none", "refine-vm", "refine", "greedy", "greedy-aware"]
+        ),
+        "bg": st.just(True),
+        "bg_weight": st.sampled_from([0.25, 0.5, 1.0, 2.0]),
+        "bg_overlap": st.sampled_from([0.5, 1.2, 3.0]),
+        "lb_period": st.sampled_from([2, 5, 10]),
+        "epsilon": st.sampled_from([0.02, 0.05, 0.1]),
+        "seed": st.integers(min_value=0, max_value=2**31 - 1),
+    }
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(params=_contended_params)
+def test_contended_random_scenarios_bit_identical(params):
+    res_e, res_f, _, _ = _run_both(params)
+    _assert_results_identical(res_e, res_f)
+    for a, b in zip(res_e.app.iteration_times, res_f.app.iteration_times):
+        assert a == b and not math.isnan(a)
+
+
+@settings(max_examples=10, deadline=None)
+@given(params=_contended_params)
+def test_contended_random_ledger_conserved_and_identical(params):
+    res_e, res_f, led_e, led_f = _run_both_ledgered(params)
+    _assert_results_identical(res_e, res_f)
+    _assert_ledgers_identical(led_e, led_f)
+    assert led_e.conserved and led_e.residual_exact() == 0
+    assert led_f.residual_exact() == 0
+
+
+@settings(max_examples=10, deadline=None)
+@given(params=_contended_params)
+def test_contended_random_lineage_and_audit_identical(params):
+    res_e, res_f, pay_e, pay_f = _run_both_lineaged(params)
+    _assert_results_identical(res_e, res_f)
+    assert pay_e == pay_f
+
+
+@settings(max_examples=12, deadline=None)
+@given(params=_contended_params)
+def test_contended_random_batch_backend_bit_identical(params):
+    res_e = run_scenario(build_scenario(params), backend="events")
+    res_b = run_scenario(build_scenario(params), backend="batch")
+    _assert_results_identical(res_e, res_b)
